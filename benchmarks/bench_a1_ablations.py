@@ -1,0 +1,114 @@
+"""A1 — Ablations over the design choices DESIGN.md calls out.
+
+Three knobs, each isolated:
+
+* **early stop** — the paper's interactive stop-at-first-full-match vs
+  an exhaustive sweep of the reachable space;
+* **link fan-out** — how many service links each coalition maintains,
+  the routing capacity of the loose-coupling layer;
+* **ontology** — synonym expansion on/off, measured as recall on
+  synonym-phrased queries against the healthcare world.
+"""
+
+from repro.apps.healthcare import topology as topo
+from repro.bench import build_scaled_space, discovery_workload, print_table
+from repro.core.discovery import CoDatabaseClient, DiscoveryEngine
+from repro.core.model import Ontology, SourceDescription, topic_score
+from repro.core.registry import Registry
+
+
+def test_a1_early_stop_vs_sweep(benchmark):
+    space = build_scaled_space(databases=112, coalitions=14)
+    engine = space.discovery_engine()
+    workload = discovery_workload(space, 20, seed=23)
+
+    rows = []
+    for label, stop in (("stop at first full match", True),
+                        ("exhaustive sweep", False)):
+        contacts = 0
+        leads = 0
+        for query in workload:
+            result = engine.discover(query.text, query.start_database,
+                                     max_hops=10, stop_at_first=stop)
+            contacts += result.codatabases_contacted
+            leads += len(result.leads)
+        rows.append([label, f"{contacts / 20:.1f}", f"{leads / 20:.1f}"])
+    print_table("A1: early stop vs exhaustive sweep (112 sources)",
+                ["mode", "codbs/query", "leads/query"], rows)
+    assert float(rows[0][1]) < float(rows[1][1])  # early stop is cheaper
+    assert float(rows[0][2]) <= float(rows[1][2])  # sweep finds >= leads
+
+    query = workload[0]
+    benchmark(lambda: engine.discover(query.text, query.start_database,
+                                      max_hops=10).resolved)
+
+
+def test_a1_link_fanout(benchmark):
+    """More links per coalition = shorter routes but more metadata to
+    propagate; the sweet spot is small."""
+    rows = []
+    for fanout in (1, 2, 4):
+        space = build_scaled_space(databases=112, coalitions=14,
+                                   links_per_coalition=fanout)
+        engine = space.discovery_engine()
+        workload = discovery_workload(space, 20, seed=29)
+        contacts = 0
+        depth_total = 0
+        for query in workload:
+            result = engine.discover(query.text, query.start_database,
+                                     max_hops=14)
+            assert result.resolved
+            contacts += result.codatabases_contacted
+            depth_total += result.max_depth_reached
+        rows.append([fanout, len(space.registry.service_links()),
+                     f"{contacts / 20:.1f}", f"{depth_total / 20:.1f}"])
+    print_table("A1: service-link fan-out (112 sources, 14 coalitions)",
+                ["links/coalition", "total links", "codbs/query",
+                 "avg depth"], rows)
+    # Higher fan-out shortens routes.
+    assert float(rows[-1][3]) <= float(rows[0][3])
+
+    space = build_scaled_space(databases=56, coalitions=7,
+                               links_per_coalition=2)
+    engine = space.discovery_engine()
+    query = discovery_workload(space, 1, seed=3)[0]
+    benchmark(lambda: engine.discover(query.text,
+                                      query.start_database).resolved)
+
+
+def test_a1_ontology_recall(benchmark, healthcare):
+    """Synonym-phrased queries only resolve with the ontology."""
+    synonym_queries = [
+        ("health research", "Research"),        # health ~ medical
+        ("healthcare insurance", topo.MEDICAL_INSURANCE),
+        ("retirement funds", topo.SUPERANNUATION),  # retirement ~ super
+    ]
+
+    def recall(registry, ontology):
+        hits = 0
+        for query_text, expected in synonym_queries:
+            # Score directly against coalition topics, isolating the
+            # matching layer from routing.
+            coalition = registry.coalition(expected)
+            score = topic_score(query_text, coalition.information_type,
+                                ontology)
+            if score >= 0.5:
+                hits += 1
+        return hits
+
+    registry = healthcare.system.registry
+    with_ontology = recall(registry, topo.healthcare_ontology())
+    without_ontology = recall(registry, None)
+    print_table("A1: ontology synonym recall (3 synonym queries)",
+                ["configuration", "resolved"],
+                [["with ontology", f"{with_ontology}/3"],
+                 ["without ontology", f"{without_ontology}/3"]])
+    assert with_ontology > without_ontology
+
+    # End-to-end check through the deployed system (ontology is wired
+    # into every co-database).
+    browser = healthcare.browser(topo.QUT)
+    result = browser.find("health research")
+    assert result.data.resolved
+
+    benchmark(lambda: browser.find("health research").data.resolved)

@@ -1,0 +1,52 @@
+"""F1 — Figure 1: the medical-world topology.
+
+Regenerates the topology inventory (14 databases, 5 coalitions, 9
+service links, 28 total databases counting co-databases) and times a
+full deployment of the federation.
+"""
+
+from repro.apps.healthcare import build_healthcare_system
+from repro.apps.healthcare import topology as topo
+from repro.bench import print_table
+
+
+def test_fig1_topology_inventory(benchmark, healthcare):
+    registry = healthcare.system.registry
+    summary = registry.summary()
+
+    rows = [
+        ["databases", summary["sources"], 14],
+        ["coalitions", summary["coalitions"], 5],
+        ["service links", summary["service_links"], 9],
+        ["memberships", summary["memberships"], "-"],
+        ["databases + co-databases", 2 * summary["sources"], 28],
+    ]
+    print_table("F1: Figure-1 topology (measured vs paper)",
+                ["entity", "measured", "paper"], rows)
+
+    coalition_rows = [
+        [name, ", ".join(registry.coalition(name).members)]
+        for name in registry.coalition_names()
+    ]
+    print_table("F1: coalition membership", ["coalition", "members"],
+                coalition_rows)
+
+    link_rows = [[link.label, link.kind, link.information_type]
+                 for link in registry.service_links()]
+    print_table("F1: service links", ["label", "kind", "information"],
+                link_rows)
+
+    # Timed kernel: verifying membership/link structure.
+    def verify():
+        assert registry.summary()["sources"] == 14
+        return sum(len(registry.coalition(c).members)
+                   for c in registry.coalition_names())
+
+    assert benchmark(verify) == 10
+
+
+def test_fig1_full_deployment(benchmark):
+    """Time to stand up the entire federation from nothing."""
+    deployment = benchmark.pedantic(build_healthcare_system,
+                                    rounds=3, iterations=1)
+    assert deployment.system.registry.summary()["sources"] == 14

@@ -1,0 +1,89 @@
+"""F2 — Figure 2: the implementation mapping and ORB interoperability.
+
+Prints the deployment matrix (DBMS -> ORB product -> gateway) and times
+data access through each gateway kind: JDBC (relational), C++ direct
+binding (ObjectStore), and JNI-style binding (Ontos).
+"""
+
+from repro.apps.healthcare import topology as topo
+from repro.bench import print_table
+
+#: The paper's assignment (§4), keyed by DBMS.
+PAPER_ASSIGNMENT = {
+    "Oracle": ("VisiBroker for Java", "jdbc"),
+    "mSQL": ("OrbixWeb", "jdbc"),
+    "DB2 Universal Database": ("OrbixWeb", "jdbc"),
+    "ObjectStore": ("Orbix", "c++"),
+    "Ontos": ("OrbixWeb", "jni"),
+}
+
+
+def test_fig2_deployment_matrix(benchmark, healthcare):
+    records = healthcare.system.deployment_map()
+    rows = []
+    mismatches = 0
+    for record in sorted(records, key=lambda r: (r.dbms, r.source_name)):
+        expected_orb, expected_gateway = PAPER_ASSIGNMENT[record.dbms]
+        ok = (record.orb_product == expected_orb
+              and record.gateway == expected_gateway)
+        mismatches += 0 if ok else 1
+        rows.append([record.source_name, record.dbms, record.orb_product,
+                     record.gateway, "ok" if ok else "MISMATCH"])
+    print_table("F2: deployment map (DBMS -> ORB -> gateway)",
+                ["source", "dbms", "orb", "gateway", "vs paper"], rows)
+    assert mismatches == 0
+
+    def verify():
+        return len(healthcare.system.deployment_map())
+
+    assert benchmark(verify) == 14
+
+
+def test_fig2_gateway_kinds_latency(benchmark, healthcare):
+    """One data call per gateway kind, through the ORB."""
+    system = healthcare.system
+    calls = {
+        "jdbc (Oracle/VisiBroker)": lambda: system.wrapper_client(topo.RBH)
+            .invoke("ResearchProjects", "Funding", ["AIDS and drugs"]),
+        "c++ (ObjectStore/Orbix)": lambda: system.wrapper_client(topo.AMP)
+            .invoke("Superannuation", "FundsByCategory", ["growth"]),
+        "jni (Ontos/OrbixWeb)": lambda: system.wrapper_client(topo.AMBULANCE)
+            .invoke("Callouts", "CalloutsTo", [topo.RBH]),
+    }
+    import time
+    rows = []
+    for label, call in calls.items():
+        start = time.perf_counter()
+        for __ in range(20):
+            call()
+        elapsed = (time.perf_counter() - start) / 20
+        rows.append([label, f"{elapsed * 1e6:.0f}"])
+    print_table("F2: per-invocation latency by gateway kind",
+                ["gateway", "us/call"], rows)
+
+    benchmark(calls["jdbc (Oracle/VisiBroker)"])
+
+
+def test_fig2_cross_product_requests(benchmark, healthcare):
+    """Every wrapper call from the system ORB is a cross-product IIOP
+    request; the trio of product ORBs must all handle some."""
+    system = healthcare.system
+    system.reset_metrics()
+    for spec in topo.DATABASE_SPECS:
+        system.wrapper_client(spec.name).banner
+    per_orb = system.metrics()["orbs"]
+    rows = [[product, stats["requests_handled"],
+             stats["cross_product_requests"]]
+            for product, stats in per_orb.items()
+            if stats["requests_handled"]]
+    print_table("F2: requests handled per ORB product",
+                ["orb", "handled", "cross-product"], rows)
+    trio = {"Orbix", "OrbixWeb", "VisiBroker for Java"}
+    handled_products = {product for product, stats in per_orb.items()
+                        if stats["requests_handled"] and product in trio}
+    assert handled_products == trio
+
+    def kernel():
+        return system.wrapper_client(topo.MBF).banner
+
+    benchmark(kernel)

@@ -1,0 +1,72 @@
+"""F3 — Figure 3: the four WebFINDIT layers.
+
+Shows that one user statement traverses query layer -> communication
+layer (GIOP) -> meta-data layer (co-database servers) or data layer
+(wrapped databases), with the middleware traffic each kind generates.
+"""
+
+from repro.apps.healthcare import topology as topo
+from repro.bench import print_table
+
+
+def _traffic(system, action):
+    system.reset_metrics()
+    action()
+    return system.metrics()["giop_messages"]
+
+
+def test_fig3_layer_traffic(benchmark, healthcare):
+    system = healthcare.system
+
+    statements = [
+        ("meta: Find Coalitions (local)",
+         lambda browser: browser.find("Medical Research")),
+        ("meta: Find Coalitions (via link)",
+         lambda browser: browser.find("Medical Insurance")),
+        ("meta: Display Instances",
+         lambda browser: browser.instances("Research")),
+        ("meta: Display Access Information",
+         lambda browser: browser.access_information(topo.RBH)),
+        ("data: native SQL fetch",
+         lambda browser: browser.fetch(
+             topo.RBH, "SELECT COUNT(*) FROM MedicalStudent")),
+        ("data: exported function invoke",
+         lambda browser: browser.invoke(
+             topo.RBH, "ResearchProjects", "Funding", "AIDS and drugs")),
+    ]
+
+    rows = []
+    for label, action in statements:
+        browser = healthcare.browser(topo.QUT)
+        messages = _traffic(system, lambda: action(browser))
+        rows.append([label, messages])
+    print_table("F3: GIOP messages per WebTassili statement",
+                ["statement", "giop messages"], rows)
+
+    meta_messages = rows[0][1]
+    data_messages = rows[4][1]
+    assert meta_messages >= 1 and data_messages >= 1
+
+    browser = healthcare.browser(topo.QUT)
+
+    def kernel():
+        return browser.find("Medical Research")
+
+    benchmark(kernel)
+
+
+def test_fig3_statement_pipeline(benchmark, healthcare):
+    """Query-processor statement counting: the browser feeds the
+    processor, the processor feeds the ORB."""
+    browser = healthcare.browser(topo.QUT)
+    processor = browser._processor
+    before = processor.statements_processed
+    browser.find("Medical Research")
+    browser.instances("Research")
+    assert processor.statements_processed == before + 2
+
+    def kernel():
+        return browser.instances("Research").data
+
+    result = benchmark(kernel)
+    assert len(result) == 4

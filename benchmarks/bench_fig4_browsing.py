@@ -1,0 +1,57 @@
+"""F4 — Figure 4: browsing the co-database level.
+
+Regenerates the Figure-4 interactions (display coalitions with
+information, instances of class Research, documentation formats of RBH)
+and reports the discovery cost of each.
+"""
+
+from repro.apps.healthcare import topology as topo
+from repro.bench import print_table
+
+
+def test_fig4_browsing_session(benchmark, healthcare):
+    browser = healthcare.browser(topo.QUT)
+
+    find = browser.submit(
+        "Display Coalitions With Information Medical Research")
+    instances = browser.submit("Display Instances of Class Research")
+    documents = browser.documentation(topo.RBH, "Research")
+
+    rows = [
+        ["Display Coalitions With Information 'Medical Research'",
+         find.data.best().name,
+         find.data.codatabases_contacted, find.data.metadata_calls],
+        ["Display Instances of Class Research",
+         f"{len(instances.data)} databases", "-", "-"],
+        ["Display Documentation of Instance RBH",
+         f"{len(documents.data['documents'])} formats", "-", "-"],
+    ]
+    print_table("F4: browsing interactions",
+                ["statement", "outcome", "codbs", "metadata calls"], rows)
+
+    member_rows = [[d.name, d.information_type] for d in instances.data]
+    print_table("F4: instances of class Research (left pane of Figure 4)",
+                ["database", "information type"], member_rows)
+
+    assert {d.name for d in instances.data} == \
+        {topo.QUT, topo.RMIT, topo.QLD_CANCER, topo.RBH}
+    assert {d["format"] for d in documents.data["documents"]} == \
+        {"html", "text"}
+
+    def kernel():
+        session_browser = healthcare.browser(topo.QUT)
+        session_browser.find("Medical Research")
+        return session_browser.instances("Research").data
+
+    assert len(benchmark(kernel)) == 4
+
+
+def test_fig4_information_tree(benchmark, healthcare):
+    """The tree pane: coalitions with member leaves."""
+    browser = healthcare.browser(topo.QUT)
+    tree = browser.information_tree()
+    print()
+    print(tree, flush=True)
+    assert "+ Research" in tree
+
+    benchmark(browser.information_tree)

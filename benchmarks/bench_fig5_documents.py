@@ -1,0 +1,37 @@
+"""F5 — Figure 5: displaying the RBH HTML document.
+
+The documentation artefact is fetched from RBH's co-database over the
+ORB; the bench verifies content identity and times retrieval.
+"""
+
+from repro.apps.healthcare import RBH_HTML_DOCUMENT
+from repro.apps.healthcare import topology as topo
+from repro.bench import print_table
+
+
+def test_fig5_document_retrieval(benchmark, healthcare):
+    browser = healthcare.browser(topo.QUT)
+    result = browser.documentation(topo.RBH, "Research")
+    documents = result.data["documents"]
+    html = next(d for d in documents if d["format"] == "html")
+
+    rows = [[d["format"], len(d["content"]), d["url"] or "(inline)"]
+            for d in documents]
+    print_table("F5: documentation artefacts of Royal Brisbane Hospital",
+                ["format", "bytes", "url"], rows)
+
+    assert html["content"] == RBH_HTML_DOCUMENT
+    assert html["url"] == "http://www.medicine.uq.edu.au/RBH"
+
+    system = healthcare.system
+    system.reset_metrics()
+    browser.documentation(topo.RBH)
+    messages = system.metrics()["giop_messages"]
+    print_table("F5: retrieval cost", ["metric", "value"],
+                [["giop messages", messages],
+                 ["html bytes", len(html["content"])]])
+
+    def kernel():
+        return browser.documentation(topo.RBH).data["documents"]
+
+    assert len(benchmark(kernel)) == 2

@@ -1,0 +1,104 @@
+"""S2 — Service links are low-overhead alternatives to coalitions (§2.1).
+
+"Service links are a simplified way to share information.  They allow
+sharing with low overhead.  The amount of sharing in a service link
+involves a minimum of information exchange."
+
+We measure the metadata writes (co-database updates) needed to
+(a) join a coalition of growing size, versus (b) establish a
+database-to-database service link — which stays O(1) — and a
+database-to-coalition link, which costs one write per member.
+"""
+
+from repro.bench import print_table
+from repro.core.model import SourceDescription
+from repro.core.registry import Registry
+from repro.core.service_link import EndpointKind, ServiceLink
+
+COALITION_SIZES = (2, 4, 8, 16, 32)
+
+
+def _registry_with_coalition(members: int) -> Registry:
+    registry = Registry()
+    registry.create_coalition("Topic", "shared topic")
+    for index in range(members):
+        registry.add_source(SourceDescription(
+            name=f"member{index}", information_type="shared topic"))
+        registry.join(f"member{index}", "Topic")
+    registry.add_source(SourceDescription(name="newcomer",
+                                          information_type="fresh"))
+    return registry
+
+
+def test_s2_join_vs_link_overhead(benchmark):
+    rows = []
+    join_costs = []
+    db_link_costs = []
+    for size in COALITION_SIZES:
+        # (a) strong coupling: join the coalition
+        registry = _registry_with_coalition(size)
+        before = registry.update_operations
+        registry.join("newcomer", "Topic")
+        join_cost = registry.update_operations - before
+        join_costs.append(join_cost)
+
+        # (b) loose coupling: database -> database service link
+        registry = _registry_with_coalition(size)
+        before = registry.update_operations
+        registry.add_service_link(ServiceLink(
+            EndpointKind.DATABASE, "newcomer",
+            EndpointKind.DATABASE, "member0",
+            information_type="fresh"))
+        db_link_cost = registry.update_operations - before
+        db_link_costs.append(db_link_cost)
+
+        # (c) database -> coalition service link
+        registry = _registry_with_coalition(size)
+        before = registry.update_operations
+        registry.add_service_link(ServiceLink(
+            EndpointKind.DATABASE, "newcomer",
+            EndpointKind.COALITION, "Topic",
+            information_type="fresh"))
+        coalition_link_cost = registry.update_operations - before
+
+        rows.append([size, join_cost, db_link_cost, coalition_link_cost])
+
+    print_table(
+        "S2: co-database writes to establish sharing vs coalition size",
+        ["coalition size", "join coalition", "db-db link",
+         "db-coalition link"], rows)
+
+    # Shape: joining scales with membership; a db-db link is constant
+    # and always cheaper.
+    assert join_costs[-1] > join_costs[0]
+    assert len(set(db_link_costs)) == 1  # O(1)
+    assert all(link < join for link, join
+               in zip(db_link_costs, join_costs))
+
+    def kernel():
+        registry = _registry_with_coalition(8)
+        registry.add_service_link(ServiceLink(
+            EndpointKind.DATABASE, "newcomer",
+            EndpointKind.DATABASE, "member0"))
+        return registry.update_operations
+
+    benchmark(kernel)
+
+
+def test_s2_link_lookup_cost(benchmark, healthcare):
+    """Reading a service link is a single metadata call on one
+    co-database — the consumer needs no membership anywhere."""
+    from repro.apps.healthcare import topology as topo
+    system = healthcare.system
+    client = system.codatabase_client(topo.MEDICARE)
+    links = client.service_links()
+    print_table("S2: links visible to the standalone Medicare database",
+                ["label", "kind"],
+                [[link.label, link.kind] for link in links])
+    assert len(links) == 2
+    assert client.calls == 1
+
+    def kernel():
+        return len(system.codatabase_client(topo.MEDICARE).service_links())
+
+    assert benchmark(kernel) == 2

@@ -1,0 +1,79 @@
+"""S3 — Global-schema integration does not scale (§6.1).
+
+"Tightly-coupled approaches ... [do] not scale-up given the complexity
+when constructing the global schema for a large number of heterogeneous
+systems."
+
+We grow a federation source by source and compare the cumulative
+administrative work: pairwise schema reconciliation for the
+centralized multidatabase (quadratic) versus WebFINDIT's incremental
+coalition joins (linear in coalition size per join).
+"""
+
+from repro.bench import build_scaled_space, print_table, ratio
+
+SIZES = (25, 50, 100, 200)
+
+
+def _point(databases: int):
+    space = build_scaled_space(databases=databases,
+                               coalitions=max(databases // 10, 2))
+    return {
+        "databases": databases,
+        "global_comparisons": space.global_schema.total_comparisons,
+        "webfindit_updates": space.registry.update_operations,
+        "conflicts": space.global_schema.total_conflicts,
+    }
+
+
+def test_s3_construction_cost_curve(benchmark):
+    points = [_point(size) for size in SIZES]
+    rows = [[p["databases"], p["global_comparisons"],
+             p["webfindit_updates"],
+             f"{ratio(p['global_comparisons'], p['webfindit_updates']):.1f}x"]
+            for p in points]
+    print_table(
+        "S3: cumulative integration work vs federation size",
+        ["N databases", "global-schema comparisons",
+         "WebFINDIT co-db writes", "ratio"], rows)
+
+    # Shape: doubling N roughly quadruples global-schema work but only
+    # ~doubles WebFINDIT's incremental bookkeeping.
+    global_growth = points[-1]["global_comparisons"] / \
+        points[0]["global_comparisons"]
+    webfindit_growth = points[-1]["webfindit_updates"] / \
+        points[0]["webfindit_updates"]
+    size_growth = SIZES[-1] / SIZES[0]
+    assert global_growth > size_growth * 4  # super-linear (quadratic-ish)
+    assert webfindit_growth < size_growth * 2.5  # near-linear
+
+    def kernel():
+        return build_scaled_space(databases=50, coalitions=5) \
+            .global_schema.total_comparisons
+
+    benchmark(kernel)
+
+
+def test_s3_query_tradeoff(benchmark):
+    """Centralization's flip side: the global schema answers a query in
+    one lookup, while WebFINDIT spends a few metadata calls — the
+    trade the paper makes for autonomy and scale."""
+    space = build_scaled_space(databases=100, coalitions=10)
+    topic = list(space.coalition_topics.values())[4]
+    engine = space.discovery_engine()
+    discovery = engine.discover(topic, space.database_names[0], max_hops=10)
+    central = space.global_schema.discover(topic)
+
+    print_table(
+        "S3: query-time cost (the price of decentralization)",
+        ["approach", "lookups/contacts", "construction cost"],
+        [["global schema", 1, space.global_schema.total_comparisons],
+         ["WebFINDIT", discovery.codatabases_contacted,
+          space.registry.update_operations]])
+    assert discovery.resolved
+    assert central  # both find providers
+
+    def kernel():
+        return len(space.global_schema.discover(topic))
+
+    benchmark(kernel)

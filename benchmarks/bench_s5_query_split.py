@@ -1,0 +1,76 @@
+"""S5 — The two-level query model: meta-data vs data queries (§2/§5).
+
+"Users in WebFINDIT query the system at two levels: meta-data level
+(explore the available information, display meta information ...) and
+data level (query actual information stored in databases)."
+
+Measures the latency and middleware-traffic split between the two
+levels across representative statements of each kind.
+"""
+
+import time
+
+from repro.apps.healthcare import topology as topo
+from repro.bench import print_table
+
+
+def _measure(system, browser, label, action, repeats=15):
+    action(browser)  # warm stub caches so steady-state cost is measured
+    system.reset_metrics()
+    start = time.perf_counter()
+    for __ in range(repeats):
+        action(browser)
+    elapsed = (time.perf_counter() - start) / repeats
+    messages = system.metrics()["giop_messages"] / repeats
+    return [label, f"{elapsed * 1e6:.0f}", f"{messages:.1f}"]
+
+
+def test_s5_meta_vs_data_split(benchmark, healthcare):
+    system = healthcare.system
+
+    meta_rows = [
+        _measure(system, healthcare.browser(topo.QUT),
+                 "meta: find (local hit)",
+                 lambda b: b.find("Medical Research")),
+        _measure(system, healthcare.browser(topo.QUT),
+                 "meta: find (link traversal)",
+                 lambda b: b.find("Medical Insurance")),
+        _measure(system, healthcare.browser(topo.QUT),
+                 "meta: instances of class",
+                 lambda b: b.instances("Research")),
+        _measure(system, healthcare.browser(topo.QUT),
+                 "meta: access information",
+                 lambda b: b.access_information(topo.RBH)),
+    ]
+    data_rows = [
+        _measure(system, healthcare.browser(topo.QUT),
+                 "data: scalar function (Oracle)",
+                 lambda b: b.invoke(topo.RBH, "ResearchProjects",
+                                    "Funding", "AIDS and drugs")),
+        _measure(system, healthcare.browser(topo.QUT),
+                 "data: native SQL scan (Oracle)",
+                 lambda b: b.fetch(topo.RBH,
+                                   "SELECT * FROM MedicalStudent")),
+        _measure(system, healthcare.browser(topo.QUT),
+                 "data: OQL query (Ontos)",
+                 lambda b: b.fetch(topo.AMBULANCE,
+                                   "SELECT callout_no FROM Callout "
+                                   "WHERE priority = 1")),
+    ]
+    print_table("S5: two-level query cost split",
+                ["statement", "us/stmt", "giop msgs/stmt"],
+                meta_rows + data_rows)
+
+    # Data statements hit exactly one source object; metadata discovery
+    # may touch several co-databases.
+    assert float(data_rows[0][2]) == 1.0
+    assert float(meta_rows[1][2]) >= 3.0
+
+    browser = healthcare.browser(topo.QUT)
+
+    def kernel():
+        browser.find("Medical Research")
+        return browser.invoke(topo.RBH, "ResearchProjects", "Funding",
+                              "AIDS and drugs").data
+
+    assert benchmark(kernel) == 1250000.0

@@ -1,0 +1,65 @@
+"""S6 — The end-to-end healthcare session (§5, Figures 4-6).
+
+Runs the paper's full user walkthrough as one scripted session and
+reports the total middleware traffic it generates — the "zero to
+answer" cost of the architecture.
+"""
+
+from repro.apps.healthcare import topology as topo
+from repro.apps.healthcare.data import AIDS_PROJECT_TITLE
+from repro.bench import print_table
+
+
+def _session(healthcare):
+    browser = healthcare.browser(topo.QUT)
+    browser.submit("Display Coalitions With Information Medical Research")
+    browser.submit("Connect To Coalition Research")
+    browser.submit("Display SubClasses of Class Research")
+    browser.submit("Display Instances of Class Research")
+    browser.submit("Display Documentation of Instance "
+                   "Royal Brisbane Hospital of Class Research")
+    browser.submit("Display Access Information of Instance "
+                   "Royal Brisbane Hospital")
+    browser.submit("Display Interface of Instance Royal Brisbane Hospital")
+    browser.invoke(topo.RBH, "ResearchProjects", "Funding",
+                   AIDS_PROJECT_TITLE)
+    browser.fetch(topo.RBH, "SELECT * FROM MedicalStudent")
+    browser.submit("Find Coalitions With Information Medical Insurance")
+    browser.submit("Connect To Coalition Medical Insurance")
+    browser.submit("Display Instances of Class Medical Insurance")
+    return browser
+
+
+def test_s6_full_session(benchmark, healthcare):
+    system = healthcare.system
+    system.reset_metrics()
+    browser = _session(healthcare)
+    metrics = system.metrics()
+
+    print_table("S6: end-to-end session cost (Figures 4-6 + §2.3)",
+                ["metric", "value"],
+                [["WebTassili statements", len(browser.transcript)],
+                 ["GIOP messages", metrics["giop_messages"]],
+                 ["GIOP bytes sent", metrics["giop_bytes_sent"]],
+                 ["messages/statement",
+                  f"{metrics['giop_messages'] / len(browser.transcript):.1f}"]])
+
+    assert len(browser.transcript) == 12
+    assert metrics["giop_messages"] >= 12
+
+    def kernel():
+        return len(_session(healthcare).transcript)
+
+    assert benchmark(kernel) == 12
+
+
+def test_s6_transcript_contents(benchmark, healthcare):
+    """The transcript carries every artefact the figures show."""
+    browser = _session(healthcare)
+    transcript = browser.render_transcript()
+    for marker in ("Research", "Royal Brisbane Hospital",
+                   "dba.icis.qut.edu.au", "Type ResearchProjects {",
+                   "StudentId", "Medibank"):
+        assert marker in transcript
+
+    benchmark(lambda: len(browser.render_transcript()))

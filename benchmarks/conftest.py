@@ -1,0 +1,21 @@
+"""Shared fixtures for the benchmark harness.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each bench prints the table/series it regenerates (compare with
+EXPERIMENTS.md) and registers one timed kernel with pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.healthcare import build_healthcare_system
+
+
+@pytest.fixture(scope="session")
+def healthcare():
+    """One Figure-1 deployment shared by the figure benches."""
+    return build_healthcare_system()

@@ -1,0 +1,133 @@
+"""Building and evolving a federation from scratch.
+
+Run::
+
+    python examples/federation_admin.py
+
+Shows the administrator's side of WebFINDIT: deploying heterogeneous
+sources (an Oracle-dialect relational store and an ObjectStore-style
+object database), organizing them with WebTassili maintenance
+statements (create coalition, join, service links, advertise), and
+evolving the space (a member leaves, a coalition dissolves) while
+user-visible discovery keeps working.
+"""
+
+from repro.core.model import SourceDescription
+from repro.core.system import WebFinditSystem
+from repro.oodb import Attribute, ObjectDatabase
+from repro.orb.products import ORBIX, VISIBROKER
+from repro.sql import Database
+from repro.wrappers import (ExportedAttribute, ExportedFunction, ExportedType,
+                            OqlBinding, SqlBinding)
+
+
+def build_relational_source() -> tuple[Database, list[ExportedType]]:
+    """A small travel-clinic database with one exported type."""
+    db = Database("Travel Clinic", dialect="oracle")
+    db.execute("CREATE TABLE vaccination (id INT PRIMARY KEY, "
+               "vaccine VARCHAR2(30), price NUMBER, region VARCHAR2(30))")
+    db.executemany(
+        "INSERT INTO vaccination VALUES (?, ?, ?, ?)",
+        [[1, "yellow fever", 95.0, "africa"],
+         [2, "typhoid", 55.0, "asia"],
+         [3, "hepatitis A", 80.0, "global"]])
+    exported = ExportedType(
+        "Vaccinations",
+        attributes=[ExportedAttribute("vaccination.vaccine", "string"),
+                    ExportedAttribute("vaccination.price", "real")],
+        functions=[ExportedFunction(
+            "PriceOf", ("vaccine",), "real",
+            SqlBinding("SELECT price FROM vaccination WHERE vaccine = ?",
+                       ("vaccine",)))])
+    return db, [exported]
+
+
+def build_object_source() -> tuple[ObjectDatabase, list[ExportedType]]:
+    """A physiotherapy practice stored in an object database."""
+    db = ObjectDatabase("Physio Practice", product="ObjectStore")
+    db.define_class("Therapist", [Attribute("name", "string"),
+                                  Attribute("specialty", "string")])
+    db.create("Therapist", name="K. Ito", specialty="sports")
+    db.create("Therapist", name="M. Reed", specialty="neuro")
+    exported = ExportedType(
+        "Therapists",
+        functions=[ExportedFunction(
+            "BySpecialty", ("specialty",), "rows",
+            OqlBinding("SELECT name FROM Therapist WHERE "
+                       "specialty = {specialty}", ("specialty",)))])
+    return db, [exported]
+
+
+def main() -> None:
+    system = WebFinditSystem()
+
+    relational, relational_types = build_relational_source()
+    system.register_relational_source(
+        relational,
+        SourceDescription(name="Travel Clinic",
+                          information_type="travel medicine",
+                          location="clinic.example.net"),
+        exported_types=relational_types, orb_product=VISIBROKER)
+
+    objects, object_types = build_object_source()
+    system.register_object_source(
+        objects,
+        SourceDescription(name="Physio Practice",
+                          information_type="physiotherapy",
+                          location="physio.example.net"),
+        exported_types=object_types, orb_product=ORBIX)
+
+    print("Deployment map:")
+    for record in system.deployment_map():
+        print(f"  {record.source_name:18s} {record.dbms:12s} "
+              f"behind {record.orb_product} via {record.gateway}")
+    print()
+
+    # Organize the space with WebTassili maintenance statements.
+    browser = system.browser("Travel Clinic")
+    for statement in (
+            "Create Coalition Allied Health With Information "
+            "'allied health services'",
+            "Join Database Travel Clinic To Coalition Allied Health",
+            "Join Database Physio Practice To Coalition Allied Health",
+            "Create Service Link From Database Travel Clinic "
+            "To Database Physio Practice With Description 'referrals'"):
+        print("webtassili>", statement)
+        print(browser.submit(statement).text)
+        print()
+
+    # A user of the relational source can now discover the object one.
+    print(browser.find("physiotherapy").text)
+    print()
+    print(browser.invoke("Physio Practice", "Therapists", "BySpecialty",
+                         "sports").text)
+    print()
+    print(browser.invoke("Travel Clinic", "Vaccinations", "PriceOf",
+                         "typhoid").text)
+    print()
+
+    # Structure-qualified search: only sources exporting PriceOf match.
+    print(browser.submit("Find Sources With Information "
+                         "'travel medicine' Structure (PriceOf)").text)
+    print()
+
+    # Persist the information space and prove it rebuilds identically.
+    import json
+
+    from repro.core import export_topology, import_topology
+    payload = export_topology(system.registry)
+    restored = import_topology(json.loads(json.dumps(payload)))
+    print(f"Topology exported ({len(json.dumps(payload))} bytes of JSON) "
+          f"and re-imported: {restored.summary()}")
+    print()
+
+    # Evolution: membership is at each database's discretion (§2.1).
+    print(browser.submit("Leave Database Physio Practice From Coalition "
+                         "Allied Health").text)
+    print(browser.instances("Allied Health").text)
+    print()
+    print("Registry after evolution:", system.registry.summary())
+
+
+if __name__ == "__main__":
+    main()

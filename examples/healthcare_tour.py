@@ -1,0 +1,96 @@
+"""The paper's §5 walkthrough, end to end (Figures 4, 5 and 6).
+
+Run::
+
+    python examples/healthcare_tour.py
+
+Every step quotes the WebTassili statement the paper shows and prints
+the regenerated output: the coalition tree, the RBH documentation
+(including the Figure-5 HTML page), the exported interface with the
+``Funding()`` function, the generated SQL of §2.3, and the Figure-6
+``select * from medical students`` grid.
+"""
+
+from repro.apps.healthcare import build_healthcare_system
+from repro.apps.healthcare import topology as topo
+
+
+def step(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def main() -> None:
+    deployment = build_healthcare_system()
+    browser = deployment.browser(topo.QUT)  # the QUT researcher of §2.3
+
+    step("The information space as seen from QUT Research")
+    print(browser.information_tree())
+
+    step('webtassili> Display Coalitions With Information Medical Research')
+    print(browser.submit(
+        "Display Coalitions With Information Medical Research").text)
+
+    step('webtassili> Connect To Coalition Research')
+    print(browser.submit("Connect To Coalition Research").text)
+
+    step('webtassili> Display SubClasses of Class Research')
+    print(browser.submit("Display SubClasses of Class Research").text)
+
+    step('webtassili> Display Instances of Class Research')
+    print(browser.submit("Display Instances of Class Research").text)
+
+    step('webtassili> Display Documentation of Instance Royal Brisbane '
+         'Hospital of Class Research   (Figures 4-5)')
+    print(browser.submit(
+        "Display Documentation of Instance Royal Brisbane Hospital "
+        "of Class Research").text)
+
+    step('webtassili> Display Access Information of Instance Royal '
+         'Brisbane Hospital')
+    print(browser.submit(
+        "Display Access Information of Instance Royal Brisbane "
+        "Hospital").text)
+
+    step('webtassili> Display Interface of Instance Royal Brisbane Hospital')
+    print(browser.submit(
+        "Display Interface of Instance Royal Brisbane Hospital").text)
+
+    step("Invoking Funding('AIDS and drugs') — and the SQL it becomes (§2.3)")
+    wrapper = deployment.system.local_wrapper(topo.RBH)
+    print("generated SQL:",
+          wrapper.generate_sql("ResearchProjects", "Funding",
+                               ["AIDS and drugs"]))
+    print(browser.invoke(topo.RBH, "ResearchProjects", "Funding",
+                         "AIDS and drugs").text)
+
+    step("Figure 6: select * from medical students (the Fetch button)")
+    print(browser.fetch(topo.RBH, "SELECT * FROM MedicalStudent").text)
+
+    step('webtassili> Find Coalitions With Information Medical Insurance '
+         '(the §2.3 service-link traversal)')
+    result = browser.submit(
+        "Find Coalitions With Information Medical Insurance")
+    print(result.text)
+    print()
+    print("Resolution trace:")
+    for line in result.data.trace:
+        print("   ", line)
+
+    step('webtassili> Connect To Coalition Medical Insurance; '
+         'Display Instances')
+    print(browser.submit("Connect To Coalition Medical Insurance").text)
+    print(browser.submit(
+        "Display Instances of Class Medical Insurance").text)
+
+    step("Session summary")
+    metrics = deployment.system.metrics()
+    print(f"{len(browser.transcript)} WebTassili statements, "
+          f"{metrics['giop_messages']} GIOP messages across "
+          f"{len(deployment.system.orbs())} ORB products")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+"""The middleware substrate on its own: CORBA-style objects over IIOP.
+
+Run::
+
+    python examples/middleware_demo.py
+
+Demonstrates the communication layer without any WebFINDIT on top:
+defining an interface (the IDL role), activating a servant on one ORB
+product, passing its stringified IOR to a different product, invoking
+over real TCP/IP (IIOP), and watching CDR/GIOP do the byte work.
+"""
+
+from repro.orb import (InterfaceBuilder, Ior, TcpTransport, create_orb,
+                       decode_message, encode_any, ORBIX, VISIBROKER,
+                       start_naming_service)
+
+# 1. Define the interface — the role CORBA IDL plays.
+WEATHER = (InterfaceBuilder("WeatherStation", module="demo")
+           .operation("report", "city",
+                      doc="Current conditions for a city")
+           .operation("cities", doc="Cities this station covers")
+           .build())
+
+
+class WeatherServant:
+    """Server-side implementation ('written in C++', says the Orbix)."""
+
+    _data = {
+        "Brisbane": {"temp_c": 26.5, "sky": "sunny"},
+        "Cairns": {"temp_c": 31.0, "sky": "humid"},
+    }
+
+    def report(self, city):
+        return self._data.get(city, {"error": f"unknown city {city!r}"})
+
+    def cities(self):
+        return sorted(self._data)
+
+
+def main() -> None:
+    # 2. Two different ORB products share one real TCP transport.
+    transport = TcpTransport()
+    try:
+        server_orb = create_orb(ORBIX, transport, host="127.0.0.1", port=0)
+        client_orb = create_orb(VISIBROKER, transport, host="127.0.0.1",
+                                port=0)
+        print(f"server ORB: {server_orb.product} at {server_orb.endpoint}")
+        print(f"client ORB: {client_orb.product} at {client_orb.endpoint}")
+
+        # 3. Activate the servant; publish its IOR via the name service.
+        ior = server_orb.activate(WeatherServant(), WEATHER,
+                                  object_name="bne-station")
+        __, naming = start_naming_service(server_orb)
+        naming.bind("demo/weather", ior)
+
+        ior_string = server_orb.object_to_string(ior)
+        print(f"\nstringified IOR ({len(ior_string)} chars):")
+        print(" ", ior_string[:72] + "...")
+        parsed = Ior.from_string(ior_string)
+        print(f"  type id  : {parsed.type_id}")
+        print(f"  endpoint : {parsed.primary.endpoint}")
+
+        # 4. The client resolves and invokes across products over TCP.
+        resolved = naming.resolve("demo/weather")
+        station = client_orb.proxy(resolved, WEATHER)
+        print("\ncities():", station.cities())
+        print("report('Brisbane'):", station.report("Brisbane"))
+        print("report('Atlantis'):", station.report("Atlantis"))
+
+        # 5. Peek at the bytes: CDR payloads inside GIOP frames.
+        payload = encode_any({"temp_c": 26.5, "sky": "sunny"})
+        print(f"\nCDR encoding of a report payload: {len(payload)} bytes")
+        print("  hex:", payload[:24].hex(), "...")
+
+        from repro.orb.giop import RequestMessage, encode_message
+        frame = encode_message(RequestMessage(
+            request_id=1, object_key=parsed.primary.object_key,
+            operation="report", arguments=["Brisbane"]))
+        print(f"GIOP request frame: {len(frame)} bytes "
+              f"(magic {frame[:4]!r}, GIOP {frame[4]}.{frame[5]})")
+        decoded = decode_message(frame)
+        print(f"decoded back: operation={decoded.operation!r}, "
+              f"args={decoded.arguments}")
+
+        # 6. Interop accounting.
+        print(f"\nserver handled {server_orb.stats.requests_handled} "
+              f"requests, {server_orb.stats.cross_product_requests} from "
+              f"other ORB products")
+        print(f"transport moved {transport.metrics.bytes_sent} bytes in "
+              f"{transport.metrics.messages_sent} messages over TCP")
+    finally:
+        transport.close()
+
+
+if __name__ == "__main__":
+    main()

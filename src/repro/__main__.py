@@ -1,0 +1,5 @@
+"""``python -m repro`` — the interactive WebTassili shell."""
+
+from repro.cli import main
+
+raise SystemExit(main())

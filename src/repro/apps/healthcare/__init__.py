@@ -1,0 +1,10 @@
+"""The paper's healthcare application (Section 4/5): 14 databases,
+5 coalitions, 9 service links across five DBMSs and three ORBs."""
+
+from repro.apps.healthcare.deploy import (HealthcareDeployment,
+                                          RBH_HTML_DOCUMENT,
+                                          build_healthcare_system)
+from repro.apps.healthcare import topology
+
+__all__ = ["build_healthcare_system", "HealthcareDeployment",
+           "RBH_HTML_DOCUMENT", "topology"]

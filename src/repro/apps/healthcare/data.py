@@ -1,0 +1,347 @@
+"""Seeded synthetic data for the healthcare world.
+
+The paper's testbed data is not published; these generators produce
+deterministic (seeded) data shaped to the scenarios the paper walks
+through — in particular RBH carries the ``AIDS and drugs`` research
+project whose ``Funding()`` invocation §2.3 traces, and a populated
+``MedicalStudent`` table for the Figure-6 query.
+"""
+
+from __future__ import annotations
+
+import datetime
+import random
+
+from repro.apps.healthcare import topology as topo
+from repro.oodb.database import ObjectDatabase
+from repro.sql.engine import Database
+
+FIRST_NAMES = ("Alice", "Brian", "Chen", "Dana", "Emeka", "Fiona", "Gita",
+               "Harry", "Ines", "Jack", "Keiko", "Liam", "Mei", "Noah",
+               "Olga", "Priya", "Quinn", "Rosa", "Sam", "Tara")
+LAST_NAMES = ("Anderson", "Bui", "Costa", "Dawson", "Evans", "Fischer",
+              "Garcia", "Huang", "Ivanov", "Jones", "Kelly", "Lee",
+              "Mitchell", "Nguyen", "O'Brien", "Patel", "Quist", "Rossi",
+              "Smith", "Taylor")
+
+#: The project the paper's running example queries.
+AIDS_PROJECT_TITLE = "AIDS and drugs"
+AIDS_PROJECT_FUNDING = 1250000.0
+
+
+def _name(rng: random.Random) -> str:
+    return f"{rng.choice(FIRST_NAMES)} {rng.choice(LAST_NAMES)}"
+
+
+def _date(rng: random.Random, start_year: int = 1990,
+          end_year: int = 1998) -> datetime.date:
+    year = rng.randint(start_year, end_year)
+    month = rng.randint(1, 12)
+    day = rng.randint(1, 28)
+    return datetime.date(year, month, day)
+
+
+def populate_rbh(database: Database, seed: int = 7,
+                 patients: int = 60, students: int = 12,
+                 projects: int = 8) -> None:
+    """Fill the Royal Brisbane Hospital schema."""
+    rng = random.Random(seed)
+    for patient_id in range(1, patients + 1):
+        database.execute(
+            "INSERT INTO Patient VALUES (?, ?, ?, ?, ?)",
+            [patient_id, _name(rng), _date(rng, 1920, 1990).isoformat(),
+             rng.choice("MF"), f"{rng.randint(1, 400)} Example St, Brisbane"])
+    for bed_id in range(1, 41):
+        database.execute(
+            "INSERT INTO Beds VALUES (?, ?, ?)",
+            [bed_id, f"Ward {rng.choice('ABCDE')}",
+             rng.choice(["general", "intensive", "maternity"])])
+    for __ in range(80):
+        date_from = _date(rng, 1995, 1998)
+        database.execute(
+            "INSERT INTO Occupancy VALUES (?, ?, ?, ?)",
+            [rng.randint(1, 40), rng.randint(1, patients),
+             date_from.isoformat(),
+             (date_from + datetime.timedelta(days=rng.randint(1, 30)))
+             .isoformat()])
+    conditions = ("influenza", "fracture", "pneumonia", "appendicitis",
+                  "hypertension", "asthma")
+    for __ in range(120):
+        database.execute(
+            "INSERT INTO History VALUES (?, ?, ?, ?, ?)",
+            [rng.randint(1, patients), _date(rng, 1994, 1998).isoformat(),
+             rng.choice(conditions), "routine notes", rng.randint(1, 15)])
+    for employee_id in range(1, 16):
+        database.execute(
+            "INSERT INTO Doctors VALUES (?, ?, ?)",
+            [employee_id, rng.choice(["MBBS", "MBBS PhD", "FRACS"]),
+             rng.choice(["RMO", "Registrar", "Consultant", "Chief"])])
+    titles = [AIDS_PROJECT_TITLE, "Melanoma early detection",
+              "Tropical disease vectors", "Cardiac rehabilitation",
+              "Diabetes in remote communities", "Asthma triggers",
+              "Burns treatment protocols", "Neonatal outcomes"]
+    for project_id, title in enumerate(titles[:projects], start=1):
+        funding = AIDS_PROJECT_FUNDING if title == AIDS_PROJECT_TITLE \
+            else round(rng.uniform(50000, 900000), 2)
+        database.execute(
+            "INSERT INTO ResearchProjects VALUES (?, ?, ?, ?, ?, ?, ?)",
+            [project_id, title, "medical,queensland", rng.randint(1, 15),
+             _date(rng, 1994, 1997).isoformat(), None, funding])
+    for student_id in range(1, students + 1):
+        database.execute(
+            "INSERT INTO MedicalStudent VALUES (?, ?, ?, ?)",
+            [student_id, _name(rng), rng.choice(["MBBS", "BNursing"]),
+             rng.randint(1, 6)])
+    for __ in range(20):
+        database.execute(
+            "INSERT INTO ResearchProjectAttendants VALUES (?, ?, ?, ?, ?, ?)",
+            [rng.randint(1, projects), rng.randint(1, students),
+             rng.choice(["data collection", "analysis", "lab work"]),
+             _date(rng, 1996, 1998).isoformat(), None, None])
+
+
+def populate_medibank(database: Database, seed: int = 11,
+                      members: int = 50) -> None:
+    rng = random.Random(seed)
+    for member_id in range(1, members + 1):
+        database.execute(
+            "INSERT INTO Member VALUES (?, ?, ?, ?)",
+            [member_id, _name(rng), _date(rng, 1985, 1998).isoformat(),
+             rng.choice(["basic", "standard", "premium"])])
+        database.execute(
+            "INSERT INTO Policy VALUES (?, ?, ?, ?)",
+            [member_id, member_id, round(rng.uniform(400, 2400), 2),
+             rng.choice([0.0, 250.0, 500.0])])
+    for claim_id in range(1, members * 2 + 1):
+        database.execute(
+            "INSERT INTO Claim VALUES (?, ?, ?, ?, ?)",
+            [claim_id, rng.randint(1, members),
+             _date(rng, 1996, 1998).isoformat(),
+             round(rng.uniform(40, 3000), 2),
+             rng.choice(["paid", "pending", "rejected"])])
+
+
+def populate_mbf(database: Database, seed: int = 13) -> None:
+    rng = random.Random(seed)
+    plans = [("Hospital Basic", 58.0), ("Hospital Plus", 96.5),
+             ("Extras", 33.75), ("Family Complete", 142.0)]
+    for plan_id, (plan_name, premium) in enumerate(plans, start=1):
+        database.execute("INSERT INTO CoverPlan VALUES (?, ?, ?)",
+                         [plan_id, plan_name, premium])
+    for customer_id in range(1, 41):
+        database.execute(
+            "INSERT INTO Customer VALUES (?, ?, ?)",
+            [customer_id, _name(rng), rng.choice(["QLD", "NSW", "VIC"])])
+        database.execute(
+            "INSERT INTO Subscription VALUES (?, ?, ?)",
+            [customer_id, rng.randint(1, len(plans)),
+             _date(rng, 1990, 1998).isoformat()])
+
+
+def populate_ato(database: Database, seed: int = 17,
+                 taxpayers: int = 80) -> None:
+    rng = random.Random(seed)
+    for tfn in range(1, taxpayers + 1):
+        database.execute(
+            "INSERT INTO Taxpayer VALUES (?, ?, ?)",
+            [tfn, _name(rng), rng.choice(["individual", "company"])])
+        for year in (1996, 1997):
+            income = round(rng.uniform(18000, 140000), 2)
+            database.execute(
+                "INSERT INTO TaxReturn VALUES (?, ?, ?, ?, ?)",
+                [tfn * 10 + (year - 1996), tfn, year, income,
+                 round(income * 0.015, 2)])
+
+
+def populate_medicare(database: Database, seed: int = 19,
+                      enrolled: int = 70) -> None:
+    rng = random.Random(seed)
+    services = [("GP001", "GP consultation", 36.5),
+                ("SP201", "Specialist referral", 85.0),
+                ("XR310", "X-ray", 112.4),
+                ("PTH42", "Pathology panel", 54.3)]
+    for code, description, fee in services:
+        database.execute("INSERT INTO ServiceSchedule VALUES (?, ?, ?)",
+                         [code, description, fee])
+    for medicare_no in range(1, enrolled + 1):
+        database.execute(
+            "INSERT INTO Enrolment VALUES (?, ?, ?)",
+            [medicare_no, _name(rng), _date(rng, 1984, 1998).isoformat()])
+    for claim_id in range(1, enrolled * 3 + 1):
+        code, __, fee = rng.choice(services)
+        database.execute(
+            "INSERT INTO BenefitClaim VALUES (?, ?, ?, ?, ?)",
+            [claim_id, rng.randint(1, enrolled), code,
+             round(fee * rng.uniform(0.7, 1.0), 2),
+             _date(rng, 1997, 1998).isoformat()])
+
+
+def populate_rmit(database: Database, seed: int = 23) -> None:
+    rng = random.Random(seed)
+    areas = ["immunology", "oncology", "public health", "biomechanics"]
+    titles = ["Vaccine adjuvants", "Tumour imaging", "Air quality and asthma",
+              "Prosthetic joints", "Antibiotic resistance", "Telehealth"]
+    for project_id, title in enumerate(titles, start=1):
+        database.execute(
+            "INSERT INTO Project VALUES (?, ?, ?, ?, ?)",
+            [project_id, title, rng.choice(areas),
+             round(rng.uniform(80000, 600000), 2),
+             _date(rng, 1994, 1998).isoformat()])
+    for researcher_id in range(1, 13):
+        database.execute(
+            "INSERT INTO Researcher VALUES (?, ?, ?)",
+            [researcher_id, _name(rng),
+             rng.choice(["Medical Sciences", "Engineering"])])
+    for publication_id in range(1, 21):
+        database.execute(
+            "INSERT INTO Publication VALUES (?, ?, ?, ?, ?)",
+            [publication_id, rng.randint(1, len(titles)),
+             f"Paper {publication_id}", rng.choice(["MJA", "Lancet", "BMJ"]),
+             rng.randint(1994, 1998)])
+
+
+def populate_qld_cancer(database: Database, seed: int = 29) -> None:
+    rng = random.Random(seed)
+    cancer_types = ["melanoma", "breast", "lung", "prostate"]
+    for trial_id in range(1, 9):
+        database.execute(
+            "INSERT INTO Trial VALUES (?, ?, ?, ?, ?)",
+            [trial_id, f"Trial QC-{trial_id:03d}",
+             rng.choice(cancer_types), rng.randint(1, 3),
+             round(rng.uniform(100000, 800000), 2)])
+    for donor_id in range(1, 31):
+        database.execute(
+            "INSERT INTO Donor VALUES (?, ?, ?)",
+            [donor_id, _name(rng), round(rng.uniform(50, 20000), 2)])
+
+
+def populate_centre_link(database: Database, seed: int = 31,
+                         recipients: int = 60) -> None:
+    rng = random.Random(seed)
+    payment_types = ["sickness allowance", "disability support", "carer"]
+    for recipient_id in range(1, recipients + 1):
+        database.execute(
+            "INSERT INTO Recipient VALUES (?, ?, ?)",
+            [recipient_id, _name(rng), rng.choice(payment_types)])
+    for payment_id in range(1, recipients * 2 + 1):
+        database.execute(
+            "INSERT INTO Payment VALUES (?, ?, ?, ?)",
+            [payment_id, rng.randint(1, recipients),
+             round(rng.uniform(120, 700), 2),
+             _date(rng, 1997, 1998).isoformat()])
+
+
+def populate_sgf(database: Database, seed: int = 37) -> None:
+    rng = random.Random(seed)
+    programs = [("Hospital Capital Works", "Health", 24000000.0),
+                ("Rural Clinics", "Health", 6500000.0),
+                ("Medical Research Grants", "Science", 12000000.0),
+                ("Ambulance Fleet Renewal", "Emergency", 8200000.0)]
+    for program_id, (name, portfolio, budget) in enumerate(programs, start=1):
+        database.execute("INSERT INTO Program VALUES (?, ?, ?, ?)",
+                         [program_id, name, portfolio, budget])
+    for allocation_id in range(1, 21):
+        database.execute(
+            "INSERT INTO Allocation VALUES (?, ?, ?, ?, ?)",
+            [allocation_id, rng.randint(1, len(programs)),
+             rng.choice([topo.RBH, topo.PRINCE_CHARLES, topo.QLD_CANCER]),
+             round(rng.uniform(50000, 2000000), 2), rng.choice([1997, 1998])])
+
+
+def populate_qut(database: Database, seed: int = 41) -> None:
+    rng = random.Random(seed)
+    topics = ["Health in Queensland", "Hospital treatment costs",
+              "Insurance uptake", "Aged care access"]
+    for survey_id, topic in enumerate(topics, start=1):
+        database.execute(
+            "INSERT INTO Survey VALUES (?, ?, ?, ?)",
+            [survey_id, topic, _name(rng),
+             _date(rng, 1996, 1998).isoformat()])
+        for dataset_id in range(1, 4):
+            database.execute(
+                "INSERT INTO Dataset VALUES (?, ?, ?, ?)",
+                [survey_id * 10 + dataset_id, survey_id,
+                 f"{topic} — wave {dataset_id}", rng.randint(200, 5000)])
+
+
+RELATIONAL_POPULATORS = {
+    topo.RBH: populate_rbh,
+    topo.MEDIBANK: populate_medibank,
+    topo.MBF: populate_mbf,
+    topo.ATO: populate_ato,
+    topo.MEDICARE: populate_medicare,
+    topo.RMIT: populate_rmit,
+    topo.QLD_CANCER: populate_qld_cancer,
+    topo.CENTRE_LINK: populate_centre_link,
+    topo.SGF: populate_sgf,
+    topo.QUT: populate_qut,
+}
+
+
+# -- object databases -------------------------------------------------------------
+
+
+def populate_amp(database: ObjectDatabase, seed: int = 43) -> None:
+    rng = random.Random(seed)
+    funds = [database.create("Fund", name=name, category=category,
+                             five_year_return=round(rng.uniform(3.5, 11.0), 2))
+             for name, category in (("AMP Balanced", "balanced"),
+                                    ("AMP Growth", "growth"),
+                                    ("AMP Capital Secure", "conservative"))]
+    for member_no in range(1, 41):
+        database.create(
+            "Member", member_no=member_no, name=_name(rng),
+            employer=rng.choice([topo.RBH, topo.PRINCE_CHARLES, "QUT"]),
+            balance=round(rng.uniform(4000, 230000), 2),
+            fund=rng.choice(funds))
+
+
+def populate_rbh_workers(database: ObjectDatabase, seed: int = 47) -> None:
+    rng = random.Random(seed)
+    for member_no in range(1, 31):
+        database.create(
+            "UnionMember", member_no=member_no, name=_name(rng),
+            role=rng.choice(["nurse", "orderly", "technician", "clerk"]),
+            ward=f"Ward {rng.choice('ABCDE')}")
+    database.create("Agreement", title="Enterprise Agreement 1998",
+                    effective=datetime.date(1998, 7, 1),
+                    pay_rise_percent=3.2)
+
+
+def populate_prince_charles(database: ObjectDatabase, seed: int = 53) -> None:
+    rng = random.Random(seed)
+    wards = [database.create("Ward", name=f"Cardiac {letter}",
+                             beds=rng.randint(8, 24))
+             for letter in "AB"]
+    for patient_no in range(1, 26):
+        if rng.random() < 0.5:
+            database.create(
+                "CardiacPatient", patient_no=patient_no, name=_name(rng),
+                condition="cardiac", ward=rng.choice(wards),
+                procedure=rng.choice(["bypass", "stent", "valve repair"]))
+        else:
+            database.create(
+                "Patient", patient_no=patient_no, name=_name(rng),
+                condition=rng.choice(["respiratory", "observation"]),
+                ward=rng.choice(wards))
+
+
+def populate_ambulance(database: ObjectDatabase, seed: int = 59) -> None:
+    rng = random.Random(seed)
+    stations = [database.create("Station", name=name, region=region)
+                for name, region in (("Brisbane Central", "metro"),
+                                     ("Cairns", "north"),
+                                     ("Toowoomba", "west"))]
+    for callout_no in range(1, 61):
+        database.create(
+            "Callout", callout_no=callout_no, priority=rng.randint(1, 3),
+            on_date=_date(rng, 1997, 1998), station=rng.choice(stations),
+            destination_hospital=rng.choice([topo.RBH, topo.PRINCE_CHARLES]))
+
+
+OBJECT_POPULATORS = {
+    topo.AMP: populate_amp,
+    topo.RBH_WORKERS: populate_rbh_workers,
+    topo.PRINCE_CHARLES: populate_prince_charles,
+    topo.AMBULANCE: populate_ambulance,
+}

@@ -1,0 +1,528 @@
+"""Database schemas and exported interfaces for the healthcare world.
+
+The Royal Brisbane Hospital schema is transcribed from §2.2 of the
+paper (Patient, Beds, Occupancy, History, Doctors, ResearchProjects,
+MedicalStudent, ResearchProjectAttendants).  The other thirteen are
+reconstructed from the database names and roles in Figure 1.
+
+Each source also declares its *exported interface* — the types (with
+attributes and access functions) its wrapper advertises, including the
+paper's ``ResearchProjects``/``PatientHistory`` exports for RBH and the
+``Funding()`` function whose SQL translation the paper prints.
+"""
+
+from __future__ import annotations
+
+from repro.apps.healthcare import topology as topo
+from repro.oodb.database import ObjectDatabase
+from repro.oodb.schema import Attribute
+from repro.wrappers.base import (CallableBinding, ExportedAttribute,
+                                 ExportedFunction, ExportedType, OqlBinding,
+                                 SqlBinding)
+
+# ---------------------------------------------------------------------------
+# Relational DDL (per source)
+# ---------------------------------------------------------------------------
+
+RBH_DDL = """
+CREATE TABLE Patient (
+    PatientId INT PRIMARY KEY,
+    Name VARCHAR(60) NOT NULL,
+    DateOfBirth DATE,
+    Gender VARCHAR(1),
+    Address VARCHAR(120)
+);
+CREATE TABLE Beds (
+    BedId INT PRIMARY KEY,
+    Location VARCHAR(40),
+    DefaultPatientType VARCHAR(20)
+);
+CREATE TABLE Occupancy (
+    BedId INT,
+    PatientId INT,
+    DateFrom DATE,
+    DateTo DATE
+);
+CREATE TABLE History (
+    PatientId INT,
+    DateRecorded DATE,
+    Description VARCHAR(200),
+    DescriptionNotes VARCHAR(200),
+    DoctorId INT
+);
+CREATE TABLE Doctors (
+    EmployeeId INT PRIMARY KEY,
+    Qualification VARCHAR(60),
+    Position VARCHAR(40)
+);
+CREATE TABLE ResearchProjects (
+    ProjectId INT PRIMARY KEY,
+    Title VARCHAR(100),
+    Keywords VARCHAR(200),
+    SupervisingDoctor INT,
+    BeginDate DATE,
+    CompletedDate DATE,
+    Funding REAL
+);
+CREATE TABLE MedicalStudent (
+    StudentId INT PRIMARY KEY,
+    Name VARCHAR(60),
+    Course VARCHAR(40),
+    Year INT
+);
+CREATE TABLE ResearchProjectAttendants (
+    ProjectId INT,
+    StudentId INT,
+    Task VARCHAR(80),
+    DateStarted DATE,
+    DateCompleted DATE,
+    Results VARCHAR(200)
+);
+CREATE INDEX idx_rbh_projects_title ON ResearchProjects (Title);
+CREATE INDEX idx_rbh_history_patient ON History (PatientId);
+"""
+
+MEDIBANK_DDL = """
+CREATE TABLE Member (
+    MemberId INT PRIMARY KEY,
+    Name VARCHAR(60),
+    JoinDate DATE,
+    CoverLevel VARCHAR(20)
+);
+CREATE TABLE Policy (
+    PolicyId INT PRIMARY KEY,
+    MemberId INT,
+    AnnualPremium REAL,
+    Excess REAL
+);
+CREATE TABLE Claim (
+    ClaimId INT PRIMARY KEY,
+    PolicyId INT,
+    ClaimDate DATE,
+    Amount REAL,
+    Status VARCHAR(16)
+);
+CREATE INDEX idx_medibank_claim_policy ON Claim (PolicyId);
+"""
+
+MBF_DDL = """
+CREATE TABLE Customer (
+    CustomerId INT PRIMARY KEY,
+    Name VARCHAR(60),
+    State VARCHAR(3)
+);
+CREATE TABLE CoverPlan (
+    PlanId INT PRIMARY KEY,
+    PlanName VARCHAR(40),
+    MonthlyPremium REAL
+);
+CREATE TABLE Subscription (
+    CustomerId INT,
+    PlanId INT,
+    StartDate DATE
+);
+"""
+
+ATO_DDL = """
+CREATE TABLE Taxpayer (
+    TaxFileNumber INT PRIMARY KEY,
+    Name VARCHAR(60),
+    Category VARCHAR(20)
+);
+CREATE TABLE TaxReturn (
+    ReturnId INT PRIMARY KEY,
+    TaxFileNumber INT,
+    Year INT,
+    TaxableIncome REAL,
+    MedicareLevy REAL
+);
+CREATE INDEX idx_ato_return_tfn ON TaxReturn (TaxFileNumber);
+"""
+
+MEDICARE_DDL = """
+CREATE TABLE Enrolment (
+    MedicareNumber INT PRIMARY KEY,
+    Name VARCHAR(60),
+    EnrolDate DATE
+);
+CREATE TABLE BenefitClaim (
+    ClaimId INT PRIMARY KEY,
+    MedicareNumber INT,
+    ServiceCode VARCHAR(10),
+    Benefit REAL,
+    ClaimDate DATE
+);
+CREATE TABLE ServiceSchedule (
+    ServiceCode VARCHAR(10) PRIMARY KEY,
+    Description VARCHAR(100),
+    ScheduleFee REAL
+);
+"""
+
+RMIT_DDL = """
+CREATE TABLE Project (
+    ProjectId INT PRIMARY KEY,
+    Title VARCHAR(100),
+    Area VARCHAR(60),
+    Grant_Amount REAL,
+    StartDate DATE
+);
+CREATE TABLE Researcher (
+    ResearcherId INT PRIMARY KEY,
+    Name VARCHAR(60),
+    School VARCHAR(60)
+);
+CREATE TABLE Publication (
+    PublicationId INT PRIMARY KEY,
+    ProjectId INT,
+    Title VARCHAR(120),
+    Venue VARCHAR(60),
+    Year INT
+);
+"""
+
+QLD_CANCER_DDL = """
+CREATE TABLE Trial (
+    TrialId INT PRIMARY KEY,
+    Name VARCHAR(80),
+    CancerType VARCHAR(40),
+    Phase INT,
+    Funding REAL
+);
+CREATE TABLE Donor (
+    DonorId INT PRIMARY KEY,
+    Name VARCHAR(60),
+    TotalDonated REAL
+);
+"""
+
+CENTRE_LINK_DDL = """
+CREATE TABLE Recipient (
+    RecipientId INT PRIMARY KEY,
+    Name VARCHAR(60),
+    PaymentType VARCHAR(30)
+);
+CREATE TABLE Payment (
+    PaymentId INT PRIMARY KEY,
+    RecipientId INT,
+    Amount REAL,
+    PaidOn DATE
+);
+"""
+
+SGF_DDL = """
+CREATE TABLE Program (
+    ProgramId INT PRIMARY KEY,
+    Name VARCHAR(80),
+    Portfolio VARCHAR(40),
+    Budget REAL
+);
+CREATE TABLE Allocation (
+    AllocationId INT PRIMARY KEY,
+    ProgramId INT,
+    Recipient VARCHAR(80),
+    Amount REAL,
+    FiscalYear INT
+);
+"""
+
+QUT_DDL = """
+CREATE TABLE Survey (
+    SurveyId INT PRIMARY KEY,
+    Topic VARCHAR(80),
+    Lead VARCHAR(60),
+    StartDate DATE
+);
+CREATE TABLE Dataset (
+    DatasetId INT PRIMARY KEY,
+    SurveyId INT,
+    Name VARCHAR(80),
+    Records INT
+);
+"""
+
+RELATIONAL_DDL: dict[str, str] = {
+    topo.RBH: RBH_DDL,
+    topo.MEDIBANK: MEDIBANK_DDL,
+    topo.MBF: MBF_DDL,
+    topo.ATO: ATO_DDL,
+    topo.MEDICARE: MEDICARE_DDL,
+    topo.RMIT: RMIT_DDL,
+    topo.QLD_CANCER: QLD_CANCER_DDL,
+    topo.CENTRE_LINK: CENTRE_LINK_DDL,
+    topo.SGF: SGF_DDL,
+    topo.QUT: QUT_DDL,
+}
+
+
+# ---------------------------------------------------------------------------
+# Object-database schemas
+# ---------------------------------------------------------------------------
+
+def define_amp_schema(database: ObjectDatabase) -> None:
+    """AMP: superannuation members, funds and contributions."""
+    database.define_class("Fund", [
+        Attribute("name", "string", required=True),
+        Attribute("category", "string"),
+        Attribute("five_year_return", "real"),
+    ])
+    database.define_class("Member", [
+        Attribute("member_no", "integer", required=True),
+        Attribute("name", "string"),
+        Attribute("employer", "string"),
+        Attribute("balance", "real"),
+        Attribute("fund", "object", target="Fund"),
+    ])
+
+
+def define_rbh_workers_schema(database: ObjectDatabase) -> None:
+    """RBH Workers Union: members, roles, agreements."""
+    database.define_class("UnionMember", [
+        Attribute("member_no", "integer", required=True),
+        Attribute("name", "string"),
+        Attribute("role", "string"),
+        Attribute("ward", "string"),
+    ])
+    database.define_class("Agreement", [
+        Attribute("title", "string", required=True),
+        Attribute("effective", "date"),
+        Attribute("pay_rise_percent", "real"),
+    ])
+
+
+def define_prince_charles_schema(database: ObjectDatabase) -> None:
+    """Prince Charles Hospital: cardiac-specialty patient objects."""
+    database.define_class("Ward", [
+        Attribute("name", "string", required=True),
+        Attribute("beds", "integer"),
+    ])
+    database.define_class("Patient", [
+        Attribute("patient_no", "integer", required=True),
+        Attribute("name", "string"),
+        Attribute("condition", "string"),
+        Attribute("ward", "object", target="Ward"),
+    ])
+    database.define_class("CardiacPatient", [
+        Attribute("procedure", "string"),
+    ], bases=["Patient"])
+
+
+def define_ambulance_schema(database: ObjectDatabase) -> None:
+    """Ambulance (Ontos): stations, vehicles, callouts."""
+    database.define_class("Station", [
+        Attribute("name", "string", required=True),
+        Attribute("region", "string"),
+    ])
+    database.define_class("Callout", [
+        Attribute("callout_no", "integer", required=True),
+        Attribute("priority", "integer"),
+        Attribute("on_date", "date"),
+        Attribute("station", "object", target="Station"),
+        Attribute("destination_hospital", "string"),
+    ])
+
+
+OBJECT_SCHEMAS = {
+    topo.AMP: define_amp_schema,
+    topo.RBH_WORKERS: define_rbh_workers_schema,
+    topo.PRINCE_CHARLES: define_prince_charles_schema,
+    topo.AMBULANCE: define_ambulance_schema,
+}
+
+
+# ---------------------------------------------------------------------------
+# Exported interfaces
+# ---------------------------------------------------------------------------
+
+def rbh_exports() -> list[ExportedType]:
+    """RBH exports ResearchProjects and PatientHistory (§2.2/§2.3)."""
+    research_projects = ExportedType(
+        name="ResearchProjects",
+        doc="Research conducted at the Royal Brisbane Hospital",
+        attributes=[
+            ExportedAttribute("ResearchProjects.Title", "string"),
+            ExportedAttribute("ResearchProjects.Keywords", "string"),
+            ExportedAttribute("ResearchProjects.BeginDate", "date"),
+        ],
+        functions=[
+            ExportedFunction(
+                name="Funding", parameters=("title",), result_type="real",
+                doc="Budget of a given research project",
+                binding=SqlBinding(
+                    "SELECT a.Funding FROM ResearchProjects a "
+                    "WHERE a.Title = ?", ("title",))),
+            ExportedFunction(
+                name="ProjectsByKeyword", parameters=("keyword",),
+                result_type="rows",
+                doc="Projects whose keywords mention a term",
+                binding=SqlBinding(
+                    "SELECT Title, Funding FROM ResearchProjects "
+                    "WHERE Keywords LIKE ?", ("keyword",))),
+        ])
+    patient_history = ExportedType(
+        name="PatientHistory",
+        doc="Recorded patient histories",
+        attributes=[
+            ExportedAttribute("Patient.Name", "string"),
+            ExportedAttribute("History.DateRecorded", "int"),
+        ],
+        functions=[
+            ExportedFunction(
+                name="Description", parameters=("name", "date_recorded"),
+                result_type="string",
+                doc="Description of a patient sickness at a given date",
+                binding=SqlBinding(
+                    "SELECT h.Description FROM History h "
+                    "JOIN Patient p ON h.PatientId = p.PatientId "
+                    "WHERE p.Name = ? AND h.DateRecorded = ?",
+                    ("name", "date_recorded"))),
+        ])
+    return [research_projects, patient_history]
+
+
+def _scalar_export(type_name: str, doc: str, function_name: str,
+                   parameters: tuple[str, ...], result_type: str,
+                   sql: str, attributes: list[ExportedAttribute],
+                   extra_functions: list[ExportedFunction] | None = None
+                   ) -> ExportedType:
+    functions = [ExportedFunction(name=function_name, parameters=parameters,
+                                  result_type=result_type,
+                                  binding=SqlBinding(sql, parameters))]
+    functions.extend(extra_functions or [])
+    return ExportedType(name=type_name, doc=doc, attributes=attributes,
+                        functions=functions)
+
+
+def relational_exports() -> dict[str, list[ExportedType]]:
+    """Exported interfaces for every relational source."""
+    return {
+        topo.RBH: rbh_exports(),
+        topo.MEDIBANK: [_scalar_export(
+            "Claims", "Insurance claims lodged by members",
+            "TotalClaimed", ("member_name",), "real",
+            "SELECT SUM(c.Amount) FROM Claim c "
+            "JOIN Policy p ON c.PolicyId = p.PolicyId "
+            "JOIN Member m ON p.MemberId = m.MemberId WHERE m.Name = ?",
+            [ExportedAttribute("Claim.Amount", "real"),
+             ExportedAttribute("Member.Name", "string")],
+            [ExportedFunction(
+                "ClaimsByStatus", ("status",), "rows",
+                binding=SqlBinding(
+                    "SELECT ClaimId, Amount, Status FROM Claim "
+                    "WHERE Status = ?", ("status",)))])],
+        topo.MBF: [_scalar_export(
+            "Cover", "Cover plans and premiums",
+            "PlanPremium", ("plan_name",), "real",
+            "SELECT MonthlyPremium FROM CoverPlan WHERE PlanName = ?",
+            [ExportedAttribute("CoverPlan.PlanName", "string"),
+             ExportedAttribute("CoverPlan.MonthlyPremium", "real")])],
+        topo.ATO: [_scalar_export(
+            "MedicareLevy", "Medicare levy collected per year",
+            "LevyForYear", ("year",), "real",
+            "SELECT SUM(MedicareLevy) FROM TaxReturn WHERE Year = ?",
+            [ExportedAttribute("TaxReturn.Year", "int"),
+             ExportedAttribute("TaxReturn.MedicareLevy", "real")])],
+        topo.MEDICARE: [_scalar_export(
+            "Benefits", "Medicare benefit claims",
+            "BenefitTotal", ("service_code",), "real",
+            "SELECT SUM(Benefit) FROM BenefitClaim WHERE ServiceCode = ?",
+            [ExportedAttribute("BenefitClaim.ServiceCode", "string"),
+             ExportedAttribute("BenefitClaim.Benefit", "real")])],
+        topo.RMIT: [_scalar_export(
+            "Projects", "Medical research projects at RMIT",
+            "GrantAmount", ("title",), "real",
+            "SELECT Grant_Amount FROM Project WHERE Title = ?",
+            [ExportedAttribute("Project.Title", "string"),
+             ExportedAttribute("Project.Area", "string")],
+            [ExportedFunction(
+                "ProjectsInArea", ("area",), "rows",
+                binding=SqlBinding(
+                    "SELECT Title, Grant_Amount FROM Project "
+                    "WHERE Area = ?", ("area",)))])],
+        topo.QLD_CANCER: [_scalar_export(
+            "Trials", "Cancer trials and their funding",
+            "TrialFunding", ("name",), "real",
+            "SELECT Funding FROM Trial WHERE Name = ?",
+            [ExportedAttribute("Trial.Name", "string"),
+             ExportedAttribute("Trial.CancerType", "string")])],
+        topo.CENTRE_LINK: [_scalar_export(
+            "Payments", "Social-security payments",
+            "TotalPaid", ("payment_type",), "real",
+            "SELECT SUM(p.Amount) FROM Payment p "
+            "JOIN Recipient r ON p.RecipientId = r.RecipientId "
+            "WHERE r.PaymentType = ?",
+            [ExportedAttribute("Payment.Amount", "real"),
+             ExportedAttribute("Recipient.PaymentType", "string")])],
+        topo.SGF: [_scalar_export(
+            "Funding", "State funding programs",
+            "ProgramBudget", ("name",), "real",
+            "SELECT Budget FROM Program WHERE Name = ?",
+            [ExportedAttribute("Program.Name", "string"),
+             ExportedAttribute("Program.Budget", "real")])],
+        topo.QUT: [_scalar_export(
+            "Surveys", "Health surveys run by QUT Research",
+            "SurveyLead", ("topic",), "string",
+            "SELECT Lead FROM Survey WHERE Topic = ?",
+            [ExportedAttribute("Survey.Topic", "string"),
+             ExportedAttribute("Survey.Lead", "string")])],
+    }
+
+
+def _amp_balance(database: ObjectDatabase, member_name: str):
+    """Direct-call binding: total balance of one AMP member."""
+    members = database.select("Member", name=member_name)
+    return sum(m.get("balance") or 0.0 for m in members)
+
+
+def object_exports() -> dict[str, list[ExportedType]]:
+    """Exported interfaces for the object sources."""
+    return {
+        topo.AMP: [ExportedType(
+            name="Superannuation",
+            doc="Superannuation funds and balances",
+            attributes=[ExportedAttribute("Member.name", "string"),
+                        ExportedAttribute("Member.balance", "real")],
+            functions=[
+                ExportedFunction(
+                    "MemberBalance", ("name",), "real",
+                    doc="Balance via direct method invocation",
+                    binding=CallableBinding(_amp_balance)),
+                ExportedFunction(
+                    "FundsByCategory", ("category",), "rows",
+                    binding=OqlBinding(
+                        "SELECT name, five_year_return FROM Fund "
+                        "WHERE category = {category}", ("category",))),
+            ])],
+        topo.RBH_WORKERS: [ExportedType(
+            name="UnionMembers",
+            doc="Union membership of RBH workers",
+            attributes=[ExportedAttribute("UnionMember.name", "string"),
+                        ExportedAttribute("UnionMember.role", "string")],
+            functions=[ExportedFunction(
+                "MembersInRole", ("role",), "rows",
+                binding=OqlBinding(
+                    "SELECT name, ward FROM UnionMember "
+                    "WHERE role = {role}", ("role",)))])],
+        topo.PRINCE_CHARLES: [ExportedType(
+            name="CardiacCare",
+            doc="Cardiac patients and wards",
+            attributes=[ExportedAttribute("Patient.name", "string"),
+                        ExportedAttribute("Patient.condition", "string")],
+            functions=[ExportedFunction(
+                "PatientsInWard", ("ward",), "rows",
+                binding=OqlBinding(
+                    "SELECT name, condition FROM Patient "
+                    "WHERE ward.name = {ward}", ("ward",)))])],
+        topo.AMBULANCE: [ExportedType(
+            name="Callouts",
+            doc="Emergency callouts by station",
+            attributes=[ExportedAttribute("Callout.priority", "int"),
+                        ExportedAttribute("Callout.destination_hospital",
+                                          "string")],
+            functions=[ExportedFunction(
+                "CalloutsTo", ("hospital",), "rows",
+                binding=OqlBinding(
+                    "SELECT callout_no, priority FROM Callout "
+                    "WHERE destination_hospital = {hospital}",
+                    ("hospital",)))])],
+    }

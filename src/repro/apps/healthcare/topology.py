@@ -1,0 +1,206 @@
+"""The medical-world topology of Figure 1.
+
+Fourteen databases, five coalitions, nine service links — exactly the
+inventory §4/§5 of the paper describes, with the DBMS/ORB assignment of
+Figure 2:
+
+* Oracle databases behind **VisiBroker for Java** (JDBC),
+* mSQL and DB2 databases behind **OrbixWeb** (JDBC),
+* ObjectStore databases behind **Orbix** (C++ method invocation),
+* the Ontos database behind **OrbixWeb** (JNI).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.model import Ontology
+
+# -- database names (exactly the paper's fourteen) ------------------------------
+
+SGF = "State Government Funding"
+RBH = "Royal Brisbane Hospital"
+RBH_WORKERS = "RBH Workers Union"
+CENTRE_LINK = "Centre Link"
+MEDIBANK = "Medibank"
+MBF = "MBF"
+RMIT = "RMIT Medical Research"
+QLD_CANCER = "Queensland Cancer Fund"
+ATO = "Australian Taxation Office"
+MEDICARE = "Medicare"
+QUT = "QUT Research"
+AMBULANCE = "Ambulance"
+AMP = "AMP"
+PRINCE_CHARLES = "Prince Charles Hospital"
+
+ALL_DATABASES = (SGF, RBH, RBH_WORKERS, CENTRE_LINK, MEDIBANK, MBF, RMIT,
+                 QLD_CANCER, ATO, MEDICARE, QUT, AMBULANCE, AMP,
+                 PRINCE_CHARLES)
+
+# -- coalitions -------------------------------------------------------------------
+
+RESEARCH = "Research"
+MEDICAL = "Medical"
+MEDICAL_INSURANCE = "Medical Insurance"
+SUPERANNUATION = "Superannuation"
+WORKERS_UNION = "Medical Workers Union"
+
+ALL_COALITIONS = (RESEARCH, MEDICAL, MEDICAL_INSURANCE, SUPERANNUATION,
+                  WORKERS_UNION)
+
+
+@dataclass(frozen=True)
+class CoalitionSpec:
+    """Declarative description of one coalition."""
+
+    name: str
+    information_type: str
+    members: tuple[str, ...]
+    doc: str = ""
+
+
+COALITION_SPECS: tuple[CoalitionSpec, ...] = (
+    CoalitionSpec(
+        name=RESEARCH, information_type="Medical Research",
+        members=(QUT, RMIT, QLD_CANCER, RBH),
+        doc="Medical research conducted in Queensland institutions"),
+    CoalitionSpec(
+        name=MEDICAL, information_type="Medical",
+        members=(RBH, PRINCE_CHARLES),
+        doc="Hospitals and medical service providers"),
+    CoalitionSpec(
+        name=MEDICAL_INSURANCE, information_type="Medical Insurance",
+        members=(MEDIBANK, MBF),
+        doc="Private and public health insurers"),
+    CoalitionSpec(
+        name=SUPERANNUATION, information_type="Superannuation",
+        members=(AMP,),
+        doc="Retirement and superannuation funds"),
+    CoalitionSpec(
+        name=WORKERS_UNION, information_type="Medical Workers Union",
+        members=(RBH_WORKERS,),
+        doc="Unions of medical-sector workers"),
+)
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """Declarative description of one service link (Figure 1 labels)."""
+
+    from_kind: str
+    from_name: str
+    to_kind: str
+    to_name: str
+    information_type: str
+
+
+#: The nine service links of Figure 1.
+LINK_SPECS: tuple[LinkSpec, ...] = (
+    LinkSpec("database", SGF, "database", MEDICARE, "Government Funding"),
+    LinkSpec("database", ATO, "database", MEDICARE, "Taxation"),
+    LinkSpec("database", SGF, "coalition", MEDICAL, "Government Funding"),
+    LinkSpec("database", ATO, "coalition", MEDICAL, "Taxation"),
+    LinkSpec("coalition", SUPERANNUATION, "coalition", MEDICAL,
+             "Superannuation"),
+    LinkSpec("database", CENTRE_LINK, "coalition", MEDICAL,
+             "Social Security"),
+    LinkSpec("coalition", WORKERS_UNION, "coalition", MEDICAL,
+             "Medical Workers Union"),
+    LinkSpec("database", AMBULANCE, "coalition", MEDICAL,
+             "Emergency Transport"),
+    LinkSpec("coalition", MEDICAL, "coalition", MEDICAL_INSURANCE,
+             "Medical Insurance"),
+)
+
+
+@dataclass(frozen=True)
+class DatabaseSpec:
+    """Deployment facts for one source (the rows of Figure 2)."""
+
+    name: str
+    dbms: str  # oracle | msql | db2 | objectstore | ontos
+    orb_product: str  # Orbix | OrbixWeb | VisiBroker for Java
+    location: str
+    information_type: str
+    documentation_url: str
+    coalitions: tuple[str, ...] = field(default=())
+
+
+DATABASE_SPECS: tuple[DatabaseSpec, ...] = (
+    DatabaseSpec(RBH, "oracle", "VisiBroker for Java",
+                 "dba.icis.qut.edu.au", "Research and Medical",
+                 "http://www.medicine.uq.edu.au/RBH",
+                 coalitions=(RESEARCH, MEDICAL)),
+    DatabaseSpec(MEDIBANK, "oracle", "VisiBroker for Java",
+                 "db.medibank.com.au", "Medical Insurance",
+                 "http://www.medibank.com.au/info",
+                 coalitions=(MEDICAL_INSURANCE,)),
+    DatabaseSpec(ATO, "oracle", "VisiBroker for Java",
+                 "db.ato.gov.au", "Taxation",
+                 "http://www.ato.gov.au/about"),
+    DatabaseSpec(MEDICARE, "oracle", "VisiBroker for Java",
+                 "db.medicare.gov.au", "Medicare Benefits",
+                 "http://www.medicare.gov.au/schemes"),
+    DatabaseSpec(RMIT, "msql", "OrbixWeb",
+                 "research.rmit.edu.au", "Medical Research",
+                 "http://www.rmit.edu.au/medical-research",
+                 coalitions=(RESEARCH,)),
+    DatabaseSpec(QLD_CANCER, "msql", "OrbixWeb",
+                 "db.qldcancer.org.au", "Cancer Research",
+                 "http://www.qldcancer.org.au/research",
+                 coalitions=(RESEARCH,)),
+    DatabaseSpec(CENTRE_LINK, "msql", "OrbixWeb",
+                 "db.centrelink.gov.au", "Social Security",
+                 "http://www.centrelink.gov.au/payments"),
+    DatabaseSpec(SGF, "msql", "OrbixWeb",
+                 "db.qld.gov.au", "Government Funding",
+                 "http://www.qld.gov.au/funding"),
+    DatabaseSpec(MBF, "db2", "OrbixWeb",
+                 "db.mbf.com.au", "Medical Insurance",
+                 "http://www.mbf.com.au/cover",
+                 coalitions=(MEDICAL_INSURANCE,)),
+    DatabaseSpec(QUT, "db2", "OrbixWeb",
+                 "research.qut.edu.au", "Medical Research",
+                 "http://www.qut.edu.au/research",
+                 coalitions=(RESEARCH,)),
+    DatabaseSpec(AMP, "objectstore", "Orbix",
+                 "db.amp.com.au", "Superannuation",
+                 "http://www.amp.com.au/funds",
+                 coalitions=(SUPERANNUATION,)),
+    DatabaseSpec(RBH_WORKERS, "objectstore", "Orbix",
+                 "union.rbh.org.au", "Medical Workers Union",
+                 "http://www.rbhunion.org.au",
+                 coalitions=(WORKERS_UNION,)),
+    DatabaseSpec(PRINCE_CHARLES, "objectstore", "Orbix",
+                 "db.pch.health.qld.gov.au", "Medical",
+                 "http://www.health.qld.gov.au/pch",
+                 coalitions=(MEDICAL,)),
+    DatabaseSpec(AMBULANCE, "ontos", "OrbixWeb",
+                 "db.ambulance.qld.gov.au", "Emergency Transport",
+                 "http://www.ambulance.qld.gov.au"),
+)
+
+
+def healthcare_ontology() -> Ontology:
+    """Topic synonyms and proximities for the medical world."""
+    ontology = Ontology()
+    ontology.add_synonyms("medical", ["health", "healthcare", "medicine"])
+    ontology.add_synonyms("research", ["study", "studies"])
+    ontology.add_synonyms("insurance", ["cover", "insurer"])
+    ontology.add_synonyms("superannuation", ["retirement", "pension"])
+    ontology.add_synonyms("funding", ["budget", "grants"])
+    ontology.relate("Medical", "Medical Insurance")
+    ontology.relate("Medical", "Medical Research")
+    ontology.relate("Superannuation", "Medical Workers Union")
+    return ontology
+
+
+def verify_figure1_counts() -> dict[str, int]:
+    """The headline numbers of Figure 1 / §5 (checked by tests)."""
+    return {
+        "databases": len(ALL_DATABASES),
+        "coalitions": len(COALITION_SPECS),
+        "service_links": len(LINK_SPECS),
+        "codatabases": len(ALL_DATABASES),
+        "total_databases": 2 * len(ALL_DATABASES),  # "28 databases"
+    }

@@ -1,0 +1,8 @@
+"""Comparison baselines: broadcast discovery and global-schema integration."""
+
+from repro.baselines.broadcast import BroadcastDirectory, BroadcastResult
+from repro.baselines.global_schema import (GlobalSchemaMultidatabase,
+                                           IntegrationReport, SchemaItem)
+
+__all__ = ["BroadcastDirectory", "BroadcastResult",
+           "GlobalSchemaMultidatabase", "IntegrationReport", "SchemaItem"]

@@ -1,0 +1,174 @@
+"""An interactive WebTassili shell over a deployed federation.
+
+Run::
+
+    python -m repro                 # healthcare testbed, QUT session
+    python -m repro --home "Royal Brisbane Hospital"
+    python -m repro --tcp           # same, over real TCP sockets
+
+The shell accepts WebTassili statements plus a few meta-commands:
+
+``\\tree``
+    the Figure-4 information tree from the current entry point
+``\\session``
+    current home / coalition / entry point
+``\\metrics``
+    middleware counters so far
+``\\home <database>``
+    switch the session to another participating database
+``\\help`` / ``\\quit``
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import IO, Optional
+
+from repro.apps.healthcare import build_healthcare_system
+from repro.apps.healthcare import topology as topo
+from repro.errors import ReproError
+
+_BANNER = """WebFINDIT — WebTassili shell (healthcare federation: 14 databases,
+5 coalitions, 9 service links over Orbix/OrbixWeb/VisiBroker)
+Type WebTassili statements, \\help for meta-commands, \\quit to leave."""
+
+_HELP = """Meta-commands:
+  \\tree            information tree from the current entry point
+  \\session         show session state
+  \\metrics         middleware counters
+  \\home <name>     re-home the session at another database
+  \\help            this text
+  \\quit            exit
+
+WebTassili statements (examples):
+  Find Coalitions With Information Medical Research
+  Find Sources With Information 'Medical Insurance' Structure (Funding)
+  Connect To Coalition Research
+  Display Instances of Class Research
+  Display Documentation of Instance Royal Brisbane Hospital
+  Display Access Information of Instance Royal Brisbane Hospital
+  Invoke Funding Of Type ResearchProjects On 'Royal Brisbane Hospital'
+      With ('AIDS and drugs')
+  Query 'Royal Brisbane Hospital' Native 'select * from MedicalStudent'"""
+
+
+class Shell:
+    """The REPL: owns one deployment and one browser session."""
+
+    def __init__(self, deployment, home_database: str,
+                 output: Optional[IO[str]] = None):
+        self.deployment = deployment
+        self.output = output or sys.stdout
+        self.browser = deployment.browser(home_database)
+
+    def _print(self, text: str = "") -> None:
+        print(text, file=self.output)
+
+    def handle(self, line: str) -> bool:
+        """Process one input line; returns False when the shell should
+        exit."""
+        line = line.strip()
+        if not line:
+            return True
+        if line.startswith("\\"):
+            return self._meta(line)
+        try:
+            result = self.browser.submit(line)
+            self._print(result.text)
+        except ReproError as exc:
+            self._print(f"error: {type(exc).__name__}: {exc}")
+        return True
+
+    def _meta(self, line: str) -> bool:
+        command, __, argument = line[1:].partition(" ")
+        command = command.lower()
+        argument = argument.strip()
+        if command in ("quit", "exit", "q"):
+            return False
+        if command == "help":
+            self._print(_HELP)
+        elif command == "tree":
+            self._print(self.browser.information_tree())
+        elif command == "session":
+            session = self.browser.session
+            self._print(f"home:      {session.home_database}")
+            self._print(f"coalition: {session.current_coalition or '(none)'}")
+            self._print(f"entry:     {session.metadata_source}")
+        elif command == "metrics":
+            metrics = self.deployment.system.metrics()
+            self._print(f"GIOP messages: {metrics['giop_messages']}")
+            self._print(f"bytes sent:    {metrics['giop_bytes_sent']}")
+            for product, stats in metrics["orbs"].items():
+                if stats["requests_handled"]:
+                    self._print(f"  {product}: "
+                                f"{stats['requests_handled']} handled, "
+                                f"{stats['cross_product_requests']} "
+                                f"cross-product")
+        elif command == "home":
+            if not argument:
+                self._print("usage: \\home <database name>")
+            else:
+                try:
+                    self.browser = self.deployment.browser(argument)
+                    self._print(f"session re-homed at {argument}")
+                except ReproError as exc:
+                    self._print(f"error: {exc}")
+        else:
+            self._print(f"unknown meta-command \\{command} (try \\help)")
+        return True
+
+    def run(self, input_stream: Optional[IO[str]] = None,
+            interactive: bool = True) -> None:
+        """Read statements until EOF or ``\\quit``."""
+        stream = input_stream or sys.stdin
+        self._print(_BANNER)
+        while True:
+            if interactive:
+                self.output.write("webtassili> ")
+                self.output.flush()
+            line = stream.readline()
+            if not line:
+                break
+            if not interactive:
+                self._print(f"webtassili> {line.rstrip()}")
+            if not self.handle(line):
+                break
+        self._print("bye.")
+
+
+def main(argv: Optional[list[str]] = None,
+         input_stream: Optional[IO[str]] = None,
+         output: Optional[IO[str]] = None) -> int:
+    """CLI entry point (``python -m repro``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="WebFINDIT WebTassili shell")
+    parser.add_argument("--home", default=topo.QUT,
+                        help="participating database the session belongs to")
+    parser.add_argument("--tcp", action="store_true",
+                        help="run the federation over real TCP sockets")
+    parser.add_argument("--statement", "-s", action="append", default=[],
+                        help="execute statement(s) and exit")
+    options = parser.parse_args(argv)
+
+    transport = None
+    if options.tcp:
+        from repro.orb.transport import TcpTransport
+        transport = TcpTransport()
+    deployment = build_healthcare_system(transport=transport)
+    shell = Shell(deployment, options.home, output=output)
+    try:
+        if options.statement:
+            for statement in options.statement:
+                shell.handle(statement)
+            return 0
+        stream = input_stream or sys.stdin
+        shell.run(stream, interactive=stream.isatty())
+        return 0
+    finally:
+        if transport is not None:
+            transport.close()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,386 @@
+"""Co-databases: the object-oriented metadata layer.
+
+"Each participating database has a co-database attached to it.  A
+co-database is an object-oriented database that stores information
+about its associated database, coalitions, and service links" (§2.2).
+
+Faithfully to the paper, a co-database here *is* an
+:class:`~repro.oodb.database.ObjectDatabase`: every coalition is a
+class in its schema (subclass relationships model topic
+specialization), member databases are instances of those classes, and
+service links live in a two-subclass lattice (coalition links vs.
+database links).  Documents (the multimedia documentation of §2.2) are
+stored per source.
+
+The co-database is served over the ORB by :class:`CoDatabaseServant`
+(interface :data:`CODATABASE_INTERFACE`) so remote metadata queries are
+real middleware traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.core.coalition import Coalition
+from repro.core.model import Ontology, SourceDescription, topic_score
+from repro.core.service_link import EndpointKind, ServiceLink
+from repro.errors import UnknownCoalition, UnknownDatabase
+from repro.oodb.database import ObjectDatabase
+from repro.oodb.schema import Attribute
+from repro.orb.idl import InterfaceBuilder, InterfaceDef
+
+#: Root class name for the coalition lattice inside every co-database.
+SOURCE_ROOT_CLASS = "InformationSource"
+
+_SOURCE_ATTRIBUTES = [
+    Attribute("name", "string", required=True),
+    Attribute("information_type", "string"),
+    Attribute("documentation_url", "string"),
+    Attribute("location", "string"),
+    Attribute("wrapper", "string"),
+    Attribute("interface", "string", many=True),
+    Attribute("dbms", "string"),
+    Attribute("orb_product", "string"),
+    Attribute("structure", "string", many=True),
+]
+
+
+class CoDatabase:
+    """The metadata repository attached to one information source."""
+
+    def __init__(self, owner_name: str, ontology: Optional[Ontology] = None,
+                 product: str = "ObjectStore", version: str = "5.1"):
+        self.owner_name = owner_name
+        self.ontology = ontology
+        self._db = ObjectDatabase(f"co-{owner_name}", product=product,
+                                  version=version)
+        self._db.define_class(SOURCE_ROOT_CLASS, list(_SOURCE_ATTRIBUTES),
+                              doc="Root of the coalition class lattice")
+        self._db.define_class("CoalitionInfo", [
+            Attribute("name", "string", required=True),
+            Attribute("information_type", "string"),
+            Attribute("parent", "string"),
+            Attribute("doc", "string"),
+        ], doc="Metadata about one known coalition")
+        self._db.define_class("ServiceLink", [
+            Attribute("from_kind", "string"),
+            Attribute("from_name", "string"),
+            Attribute("to_kind", "string"),
+            Attribute("to_name", "string"),
+            Attribute("information_type", "string"),
+            Attribute("description", "string"),
+            Attribute("contact", "string"),
+        ], doc="Root of the service-link subschema")
+        self._db.define_class("CoalitionServiceLink", bases=["ServiceLink"],
+                              doc="Links involving the owner's coalitions")
+        self._db.define_class("DatabaseServiceLink", bases=["ServiceLink"],
+                              doc="Links involving the owner database itself")
+        self._db.define_class("Document", [
+            Attribute("owner", "string", required=True),
+            Attribute("format", "string"),
+            Attribute("content", "string"),
+            Attribute("url", "string"),
+        ], doc="Multimedia documentation of a source")
+        self.local_description: Optional[SourceDescription] = None
+        #: Coalitions the owner database is a member of.
+        self.memberships: list[str] = []
+        #: Metadata query counter (benchmarks read this).
+        self.queries_answered = 0
+
+    # ------------------------------------------------------------ population --
+
+    def advertise(self, description: SourceDescription) -> None:
+        """Record the owner's own advertisement."""
+        if description.name != self.owner_name:
+            raise UnknownDatabase(
+                f"co-database of {self.owner_name!r} cannot advertise "
+                f"{description.name!r}")
+        self.local_description = description
+
+    def register_coalition(self, coalition: Coalition) -> None:
+        """Make *coalition* known: define its class in the lattice."""
+        if self._db.schema.has_class(coalition.name):
+            return
+        parent = coalition.parent
+        base = parent if parent and self._db.schema.has_class(parent) \
+            else SOURCE_ROOT_CLASS
+        self._db.define_class(coalition.name, [], bases=[base],
+                              doc=coalition.doc)
+        self._db.create("CoalitionInfo", name=coalition.name,
+                        information_type=coalition.information_type,
+                        parent=coalition.parent or "",
+                        doc=coalition.doc)
+
+    def record_membership(self, coalition_name: str) -> None:
+        """Note that the owner belongs to *coalition_name*."""
+        self._require_coalition(coalition_name)
+        if coalition_name not in self.memberships:
+            self.memberships.append(coalition_name)
+
+    def drop_membership(self, coalition_name: str) -> None:
+        if coalition_name in self.memberships:
+            self.memberships.remove(coalition_name)
+
+    def add_member(self, coalition_name: str,
+                   description: SourceDescription) -> None:
+        """Store *description* as an instance of the coalition class."""
+        self._require_coalition(coalition_name)
+        existing = self._db.select(coalition_name, include_subclasses=False,
+                                   name=description.name)
+        if existing:
+            return
+        self._db.create(coalition_name, **description.to_wire())
+
+    def remove_member(self, coalition_name: str, source_name: str) -> None:
+        self._require_coalition(coalition_name)
+        for obj in self._db.select(coalition_name, include_subclasses=False,
+                                   name=source_name):
+            self._db.delete(obj.oid)
+
+    def forget_coalition(self, coalition_name: str) -> None:
+        """Remove a dissolved coalition's metadata (class stays defined —
+        schema evolution is append-only, as in the era's object stores —
+        but its info record and instances go away)."""
+        for obj in self._db.select("CoalitionInfo", name=coalition_name):
+            self._db.delete(obj.oid)
+        if self._db.schema.has_class(coalition_name):
+            for obj in self._db.extent(coalition_name,
+                                       include_subclasses=False):
+                self._db.delete(obj.oid)
+        self.drop_membership(coalition_name)
+
+    def add_service_link(self, link: ServiceLink) -> None:
+        """Record a service link in the appropriate subclass."""
+        involves_owner = link.involves(EndpointKind.DATABASE, self.owner_name)
+        class_name = ("DatabaseServiceLink" if involves_owner
+                      else "CoalitionServiceLink")
+        payload = link.to_wire()
+        existing = self._db.select(class_name, include_subclasses=False,
+                                   from_name=link.from_name,
+                                   to_name=link.to_name)
+        if any(o.get("from_kind") == payload["from_kind"]
+               and o.get("to_kind") == payload["to_kind"] for o in existing):
+            return
+        self._db.create(class_name, **payload)
+
+    def remove_service_link(self, link: ServiceLink) -> None:
+        for class_name in ("DatabaseServiceLink", "CoalitionServiceLink"):
+            for obj in self._db.select(class_name, include_subclasses=False,
+                                       from_name=link.from_name,
+                                       to_name=link.to_name):
+                if (obj.get("from_kind") == link.from_kind.value
+                        and obj.get("to_kind") == link.to_kind.value):
+                    self._db.delete(obj.oid)
+
+    def attach_document(self, source_name: str, format_name: str,
+                        content: str, url: str = "") -> None:
+        """Store one documentation artefact for *source_name*."""
+        self._db.create("Document", owner=source_name, format=format_name,
+                        content=content, url=url)
+
+    # ------------------------------------------------------------- queries --
+
+    def _require_coalition(self, name: str) -> None:
+        if not self._db.schema.has_class(name) \
+                or name in (SOURCE_ROOT_CLASS, "CoalitionInfo", "ServiceLink",
+                            "CoalitionServiceLink", "DatabaseServiceLink",
+                            "Document"):
+            raise UnknownCoalition(
+                f"co-database of {self.owner_name!r} knows no coalition "
+                f"{name!r}")
+
+    def known_coalitions(self) -> list[Coalition]:
+        """All coalitions this co-database has metadata for."""
+        self.queries_answered += 1
+        result = []
+        for obj in self._db.extent("CoalitionInfo"):
+            members = [m.get("name") for m in self._db.extent(
+                obj["name"], include_subclasses=False)] \
+                if self._db.schema.has_class(obj["name"]) else []
+            result.append(Coalition(
+                name=obj["name"],
+                information_type=obj.get("information_type") or "",
+                parent=obj.get("parent") or None,
+                doc=obj.get("doc") or "",
+                members=members))
+        return result
+
+    def find_coalitions(self, query: str,
+                        threshold: float = 0.5) -> list[dict[str, Any]]:
+        """Locally-known coalitions whose topic matches *query*.
+
+        Returns dicts ``{name, information_type, score, members}`` sorted
+        by descending score.
+        """
+        self.queries_answered += 1
+        matches: list[dict[str, Any]] = []
+        for coalition in self.known_coalitions():
+            # A coalition answers for its own topic AND for what its
+            # member databases advertise — "every class contains a
+            # description about the participating databases and the
+            # type of information they contain" (§2.2).
+            member_score = 0.0
+            if self._db.schema.has_class(coalition.name):
+                for member in self._db.extent(coalition.name,
+                                              include_subclasses=False):
+                    member_score = max(member_score, topic_score(
+                        query, member.get("information_type") or "",
+                        self.ontology))
+            score = max(
+                topic_score(query, coalition.information_type, self.ontology),
+                topic_score(query, coalition.name, self.ontology),
+                member_score)
+            # Topic proximity (§2.1: clusters "are related to each other
+            # by topic proximity relationships"): a coalition whose
+            # topic the ontology marks as *close* to the query is a
+            # threshold-level lead even without word overlap.
+            if (score < threshold and self.ontology is not None
+                    and (self.ontology.are_related(
+                        query, coalition.information_type)
+                        or self.ontology.are_related(query, coalition.name))):
+                score = threshold
+            if score >= threshold:
+                matches.append({
+                    "name": coalition.name,
+                    "information_type": coalition.information_type,
+                    "score": score,
+                    "members": coalition.members,
+                })
+        matches.sort(key=lambda m: (-m["score"], m["name"]))
+        return matches
+
+    def subclasses_of(self, class_name: str) -> list[str]:
+        """Direct subclasses of a coalition class (topic specializations)."""
+        self.queries_answered += 1
+        if class_name != SOURCE_ROOT_CLASS:
+            self._require_coalition(class_name)
+        return self._db.schema.subclasses(class_name)
+
+    def instances_of(self, class_name: str) -> list[SourceDescription]:
+        """Member databases of a coalition class (including specializations)."""
+        self.queries_answered += 1
+        self._require_coalition(class_name)
+        seen: set[str] = set()
+        result: list[SourceDescription] = []
+        for obj in self._db.extent(class_name, include_subclasses=True):
+            name = obj.get("name")
+            if name in seen:
+                continue
+            seen.add(name)
+            result.append(SourceDescription.from_wire(obj.values()))
+        return result
+
+    def describe_instance(self, source_name: str) -> SourceDescription:
+        """Description of one member database, searched across classes."""
+        self.queries_answered += 1
+        if self.local_description is not None \
+                and self.local_description.name == source_name:
+            return self.local_description
+        for obj in self._db.extent(SOURCE_ROOT_CLASS,
+                                   include_subclasses=True):
+            if obj.get("name") == source_name:
+                return SourceDescription.from_wire(obj.values())
+        raise UnknownDatabase(
+            f"co-database of {self.owner_name!r} has no description of "
+            f"{source_name!r}")
+
+    def documents_of(self, source_name: str) -> list[dict[str, str]]:
+        """Documentation artefacts stored for *source_name*."""
+        self.queries_answered += 1
+        return [
+            {"format": obj.get("format") or "",
+             "content": obj.get("content") or "",
+             "url": obj.get("url") or ""}
+            for obj in self._db.select("Document", owner=source_name)
+        ]
+
+    def service_links(self) -> list[ServiceLink]:
+        """All service links this co-database knows about."""
+        self.queries_answered += 1
+        return [ServiceLink.from_wire(obj.values())
+                for obj in self._db.extent("ServiceLink",
+                                           include_subclasses=True)]
+
+    def links_of(self, kind: EndpointKind, name: str) -> list[ServiceLink]:
+        """Known links with (kind, name) at either end."""
+        return [link for link in self.service_links()
+                if link.involves(kind, name)]
+
+    def neighbor_databases(self) -> list[str]:
+        """Other members of the owner's coalitions — the databases the
+        discovery algorithm may consult next."""
+        self.queries_answered += 1
+        neighbors: list[str] = []
+        for coalition_name in self.memberships:
+            if not self._db.schema.has_class(coalition_name):
+                continue
+            for obj in self._db.extent(coalition_name,
+                                       include_subclasses=False):
+                name = obj.get("name")
+                if name != self.owner_name and name not in neighbors:
+                    neighbors.append(name)
+        return neighbors
+
+    @property
+    def object_database(self) -> ObjectDatabase:
+        """The underlying object store (for inspection and tests)."""
+        return self._db
+
+
+# ---------------------------------------------------------------------------
+# CORBA surface
+# ---------------------------------------------------------------------------
+
+#: The co-database server interface (meta-data layer of Figure 3).
+CODATABASE_INTERFACE: InterfaceDef = (
+    InterfaceBuilder("CoDatabase", module="webfindit",
+                     doc="Metadata queries against one co-database")
+    .operation("find_coalitions", "query",
+               doc="Locally-known coalitions matching a topic")
+    .operation("known_coalitions", doc="All coalition metadata records")
+    .operation("memberships", doc="Coalitions the owner belongs to")
+    .operation("subclasses_of", "class_name")
+    .operation("instances_of", "class_name")
+    .operation("describe_instance", "source_name")
+    .operation("documents_of", "source_name")
+    .operation("service_links")
+    .operation("neighbor_databases")
+    .operation("owner", doc="Name of the attached database")
+    .build())
+
+
+class CoDatabaseServant:
+    """CORBA servant exposing one co-database."""
+
+    def __init__(self, codatabase: CoDatabase):
+        self._codb = codatabase
+
+    def find_coalitions(self, query: str) -> list[dict[str, Any]]:
+        return self._codb.find_coalitions(query)
+
+    def known_coalitions(self) -> list[dict[str, Any]]:
+        return [c.to_wire() for c in self._codb.known_coalitions()]
+
+    def memberships(self) -> list[str]:
+        return list(self._codb.memberships)
+
+    def subclasses_of(self, class_name: str) -> list[str]:
+        return self._codb.subclasses_of(class_name)
+
+    def instances_of(self, class_name: str) -> list[dict[str, Any]]:
+        return [d.to_wire() for d in self._codb.instances_of(class_name)]
+
+    def describe_instance(self, source_name: str) -> dict[str, Any]:
+        return self._codb.describe_instance(source_name).to_wire()
+
+    def documents_of(self, source_name: str) -> list[dict[str, str]]:
+        return self._codb.documents_of(source_name)
+
+    def service_links(self) -> list[dict[str, Any]]:
+        return [link.to_wire() for link in self._codb.service_links()]
+
+    def neighbor_databases(self) -> list[str]:
+        return self._codb.neighbor_databases()
+
+    def owner(self) -> str:
+        return self._codb.owner_name

@@ -1,0 +1,305 @@
+"""Query resolution over the information space (§2 of the paper).
+
+"Initially, the user specifies the query in terms of relevant
+information ... the query is sent to a local metadata repository ...
+If the local metadata repository fails to resolve the user's query,
+using the information on clusters' inter-relationships, the local
+repository sends the query to one or more remote metadata
+repositories."
+
+:class:`DiscoveryEngine` implements that algorithm as a breadth-first
+exploration of co-databases:
+
+1. ask the **local** co-database for coalitions matching the topic;
+2. examine the **service links** it knows (low-overhead leads to other
+   coalitions/databases);
+3. failing that, consult the co-databases of the **other members of the
+   local coalitions** (the paper's RBH example), and so on outward.
+
+Every co-database consulted and every metadata call is counted; the
+scalability benchmarks (S1) compare these counts against the broadcast
+baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.core.codatabase import CoDatabase
+from repro.core.model import topic_score
+from repro.core.service_link import ServiceLink
+from repro.errors import DiscoveryFailure, ReproError
+from repro.orb.orb import Proxy
+
+
+class CoDatabaseClient:
+    """Uniform client over a co-database, local or behind the ORB.
+
+    The discovery engine only speaks this interface, so the same
+    algorithm runs against in-process co-databases (unit tests, the
+    centralized baseline) and CORBA proxies (the deployed system).
+    Each method call increments :attr:`calls`.
+    """
+
+    def __init__(self, target: CoDatabase | Proxy, name: str):
+        self._target = target
+        self.name = name
+        self.calls = 0
+
+    @classmethod
+    def for_local(cls, codatabase: CoDatabase) -> "CoDatabaseClient":
+        return cls(codatabase, codatabase.owner_name)
+
+    @classmethod
+    def for_proxy(cls, proxy: Proxy, name: str) -> "CoDatabaseClient":
+        return cls(proxy, name)
+
+    def _call(self, operation: str, *args: Any) -> Any:
+        self.calls += 1
+        if isinstance(self._target, CoDatabase):
+            if operation == "memberships":
+                return list(self._target.memberships)
+            method = getattr(self._target, operation)
+            return method(*args)
+        return self._target.invoke(operation, *args)
+
+    def find_coalitions(self, query: str) -> list[dict[str, Any]]:
+        matches = self._call("find_coalitions", query)
+        return [dict(m) for m in matches]
+
+    def memberships(self) -> list[str]:
+        return list(self._call("memberships"))
+
+    def service_links(self) -> list[ServiceLink]:
+        links = self._call("service_links")
+        return [link if isinstance(link, ServiceLink)
+                else ServiceLink.from_wire(link) for link in links]
+
+    def neighbor_databases(self) -> list[str]:
+        return list(self._call("neighbor_databases"))
+
+    def known_coalitions(self) -> list[dict[str, Any]]:
+        coalitions = self._call("known_coalitions")
+        return [c.to_wire() if hasattr(c, "to_wire") else dict(c)
+                for c in coalitions]
+
+    def subclasses_of(self, class_name: str) -> list[str]:
+        return list(self._call("subclasses_of", class_name))
+
+    def instances_of(self, class_name: str) -> list[dict[str, Any]]:
+        instances = self._call("instances_of", class_name)
+        return [d.to_wire() if hasattr(d, "to_wire") else dict(d)
+                for d in instances]
+
+    def describe_instance(self, source_name: str) -> dict[str, Any]:
+        description = self._call("describe_instance", source_name)
+        return description.to_wire() if hasattr(description, "to_wire") \
+            else dict(description)
+
+    def documents_of(self, source_name: str) -> list[dict[str, str]]:
+        return [dict(d) for d in self._call("documents_of", source_name)]
+
+
+@dataclass
+class CoalitionLead:
+    """One discovered lead: a coalition (or linked target) matching the
+    topic, with the path of databases whose co-databases revealed it."""
+
+    name: str
+    information_type: str
+    score: float
+    members: list[str] = field(default_factory=list)
+    via: list[str] = field(default_factory=list)
+    through_link: Optional[str] = None
+    #: A database whose co-database can answer for this lead (a member,
+    #: or the contact of the service link that revealed it).
+    contact: str = ""
+
+    @property
+    def hops(self) -> int:
+        return len(self.via) - 1 if self.via else 0
+
+    @property
+    def entry_database(self) -> Optional[str]:
+        """Where follow-up metadata queries about this lead should go."""
+        if self.members:
+            return self.members[0]
+        if self.contact:
+            return self.contact
+        return self.via[-1] if self.via else None
+
+
+@dataclass
+class DiscoveryResult:
+    """Outcome of one resolution, with the cost accounting benches use."""
+
+    query: str
+    leads: list[CoalitionLead]
+    codatabases_contacted: int
+    metadata_calls: int
+    max_depth_reached: int
+    trace: list[str] = field(default_factory=list)
+    #: Databases whose co-databases could not be reached (autonomous
+    #: sources leave at their own discretion; resolution continues).
+    unreachable: list[str] = field(default_factory=list)
+
+    @property
+    def resolved(self) -> bool:
+        return bool(self.leads)
+
+    def best(self) -> CoalitionLead:
+        if not self.leads:
+            raise DiscoveryFailure(
+                f"query {self.query!r} found no coalitions")
+        return self.leads[0]
+
+
+class DiscoveryEngine:
+    """Breadth-first resolution across co-databases.
+
+    *resolver* maps a database name to a :class:`CoDatabaseClient`;
+    the deployed system backs it with naming-service lookups and CORBA
+    proxies, tests may back it with local co-databases directly.
+    """
+
+    def __init__(self, resolver: Callable[[str], CoDatabaseClient],
+                 match_threshold: float = 0.5,
+                 full_match_score: float = 0.999):
+        self._resolve = resolver
+        self._threshold = match_threshold
+        self._full_match = full_match_score
+
+    def discover(self, query: str, start_database: str,
+                 max_hops: int = 6,
+                 stop_at_first: bool = True) -> DiscoveryResult:
+        """Resolve *query* starting from *start_database*'s co-database.
+
+        With *stop_at_first* (the paper's interactive behaviour) the
+        exploration stops once a *full* match is found — partial matches
+        are kept as leads but do not resolve the query, mirroring the
+        paper's "the coalition Research fails to answer the query"
+        example.  Service-link contacts join the frontier, so links are
+        followed across cluster boundaries.
+        """
+        trace: list[str] = []
+        leads: list[CoalitionLead] = []
+        seen_leads: set[str] = set()
+        visited: set[str] = {start_database}
+        frontier: list[tuple[str, list[str]]] = [(start_database,
+                                                  [start_database])]
+        clients: list[CoDatabaseClient] = []
+        unreachable: list[str] = []
+        depth = 0
+        max_depth_reached = 0
+
+        while frontier and depth <= max_hops:
+            max_depth_reached = depth
+            next_frontier: list[tuple[str, list[str]]] = []
+            for database_name, path in frontier:
+                try:
+                    client = self._resolve(database_name)
+                    clients.append(client)
+                    trace.append(
+                        f"[depth {depth}] consulting co-database of "
+                        f"{database_name!r}")
+                    links = self._examine(client, query, path, leads,
+                                          seen_leads, trace)
+                except ReproError as exc:
+                    # Sources join and leave at their own discretion
+                    # (§2.1); a vanished or failing co-database must not
+                    # abort resolution — skip it and keep exploring.
+                    if depth == 0:
+                        raise  # the user's own repository is required
+                    unreachable.append(database_name)
+                    trace.append(
+                        f"[depth {depth}] co-database of "
+                        f"{database_name!r} unreachable: {exc}")
+                    continue
+                if depth == 0:
+                    # The paper's courtesy check: "WebFINDIT checks
+                    # whether other databases from the local coalition
+                    # are aware of a coalition or service link that
+                    # deal with this information type."  Members of a
+                    # coalition share the same coalition metadata, so
+                    # beyond the local cluster only service links
+                    # route the query onward.
+                    for neighbor in client.neighbor_databases():
+                        if neighbor not in visited:
+                            visited.add(neighbor)
+                            next_frontier.append((neighbor,
+                                                  path + [neighbor]))
+                # Service links route the query onward even when the
+                # link itself does not advertise the topic — "the local
+                # repository sends the query to one or more remote
+                # metadata repositories" (§2).
+                for link in links:
+                    if link.contact and link.contact not in visited:
+                        visited.add(link.contact)
+                        next_frontier.append((link.contact,
+                                              path + [link.contact]))
+            if stop_at_first and any(lead.score >= self._full_match
+                                     for lead in leads):
+                break
+            frontier = next_frontier
+            depth += 1
+
+        leads.sort(key=lambda lead: (-lead.score, lead.hops, lead.name))
+        return DiscoveryResult(
+            query=query,
+            leads=leads,
+            codatabases_contacted=len(clients),
+            metadata_calls=sum(client.calls for client in clients),
+            max_depth_reached=max_depth_reached,
+            trace=trace,
+            unreachable=unreachable)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _examine(self, client: CoDatabaseClient, query: str, path: list[str],
+                 leads: list[CoalitionLead], seen: set[str],
+                 trace: list[str]) -> list[ServiceLink]:
+        """Check one co-database for coalition and link leads.
+
+        Returns the service links it knows, so the caller can route the
+        query onward along them.
+        """
+        for match in client.find_coalitions(query):
+            key = f"coalition:{match['name']}"
+            if key in seen:
+                continue
+            seen.add(key)
+            leads.append(CoalitionLead(
+                name=match["name"],
+                information_type=match.get("information_type", ""),
+                score=float(match.get("score", 0.0)),
+                members=list(match.get("members", [])),
+                via=list(path)))
+            trace.append(
+                f"    coalition {match['name']!r} matches "
+                f"(score {match.get('score', 0):.2f})")
+        links = client.service_links()
+        for link in links:
+            score = max(topic_score(query, link.information_type),
+                        topic_score(query, link.to_name),
+                        topic_score(query, link.description))
+            if score < self._threshold:
+                continue
+            # One lead per link target: multiple links into the same
+            # coalition (Figure 1 has seven into Medical) collapse.
+            key = f"link:{link.to_kind.value}:{link.to_name}"
+            if key in seen or f"coalition:{link.to_name}" in seen:
+                continue
+            seen.add(key)
+            leads.append(CoalitionLead(
+                name=link.to_name,
+                information_type=link.information_type or link.description,
+                score=score,
+                via=list(path),
+                through_link=link.label,
+                contact=link.contact))
+            trace.append(
+                f"    service link {link.label} leads to "
+                f"{link.to_kind.value} {link.to_name!r} "
+                f"(score {score:.2f})")
+        return links

@@ -1,0 +1,179 @@
+"""Information-space model: information types, source descriptions, ontology.
+
+WebFINDIT organizes sources by *information type* — the topic a source
+or coalition advertises (``Medical Research``, ``Medical Insurance``).
+Topics are free text; matching is word-overlap based, expanded through
+an optional :class:`Ontology` of synonyms and topic-proximity
+relationships (the paper's "clusters related by topic proximity").
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+_WORD_RE = re.compile(r"[a-z0-9]+")
+
+#: Words ignored when matching topics.
+STOP_WORDS = frozenset({"and", "or", "of", "the", "a", "an", "in", "on",
+                        "for", "with", "to"})
+
+
+def topic_words(text: str) -> frozenset[str]:
+    """Normalized, stop-word-free word set of a topic string."""
+    return frozenset(w for w in _WORD_RE.findall(text.lower())
+                     if w not in STOP_WORDS)
+
+
+def topic_score(query: str, topic: str,
+                ontology: Optional["Ontology"] = None) -> float:
+    """Fraction of the query's words covered by *topic* (0.0–1.0).
+
+    With an ontology, query words are expanded to their synonym sets
+    before matching.
+    """
+    query_set = topic_words(query)
+    if not query_set:
+        return 0.0
+    target = topic_words(topic)
+    if ontology is not None:
+        target = ontology.expand(target)
+    hits = sum(1 for word in query_set
+               if word in target
+               or (ontology is not None
+                   and ontology.expand({word}) & target))
+    return hits / len(query_set)
+
+
+@dataclass(frozen=True)
+class InformationType:
+    """A named information type with optional structural description.
+
+    The paper's co-databases describe both the databases and "the
+    information type ... its general structure and behavior"; *structure*
+    carries attribute-name → type-name pairs for display.
+    """
+
+    name: str
+    structure: tuple[tuple[str, str], ...] = ()
+    doc: str = ""
+
+    def matches(self, query: str,
+                ontology: Optional["Ontology"] = None) -> float:
+        return topic_score(query, self.name, ontology)
+
+
+@dataclass
+class SourceDescription:
+    """Everything a co-database advertises about one information source.
+
+    Mirrors the paper's advertisement block::
+
+        Information Source Royal Brisbane Hospital {
+            Information Type "Research and Medical"
+            Documentation   "http://www.medicine.uq.edu.au/RBH"
+            Location        "dba.icis.qut.edu.au"
+            Wrapper         "dba.icis.qut.edu.au/WebTassiliOracle"
+            Interface       ResearchProjects, PatientHistory
+        }
+    """
+
+    name: str
+    information_type: str
+    documentation_url: str = ""
+    location: str = ""
+    wrapper: str = ""
+    interface: list[str] = field(default_factory=list)
+    dbms: str = ""
+    orb_product: str = ""
+    #: Flat structural vocabulary of the exported interface:
+    #: attribute paths and function names (``ResearchProjects.Title``,
+    #: ``Funding``).  Drives structure-qualified search (§2.3's "search
+    #: for an information type while providing its structure").
+    structure: list[str] = field(default_factory=list)
+
+    def to_wire(self) -> dict:
+        """CDR-friendly struct for shipping between co-databases."""
+        return {
+            "name": self.name,
+            "information_type": self.information_type,
+            "documentation_url": self.documentation_url,
+            "location": self.location,
+            "wrapper": self.wrapper,
+            "interface": list(self.interface),
+            "dbms": self.dbms,
+            "orb_product": self.orb_product,
+            "structure": list(self.structure),
+        }
+
+    @classmethod
+    def from_wire(cls, payload: dict) -> "SourceDescription":
+        return cls(
+            name=payload.get("name", ""),
+            information_type=payload.get("information_type", ""),
+            documentation_url=payload.get("documentation_url", ""),
+            location=payload.get("location", ""),
+            wrapper=payload.get("wrapper", ""),
+            interface=list(payload.get("interface", [])),
+            dbms=payload.get("dbms", ""),
+            orb_product=payload.get("orb_product", ""),
+            structure=list(payload.get("structure", [])),
+        )
+
+    def render(self) -> str:
+        """The paper's advertisement syntax."""
+        lines = [f"Information Source {self.name} {{"]
+        lines.append(f'    Information Type "{self.information_type}"')
+        if self.documentation_url:
+            lines.append(f'    Documentation "{self.documentation_url}"')
+        if self.location:
+            lines.append(f'    Location "{self.location}"')
+        if self.wrapper:
+            lines.append(f'    Wrapper "{self.wrapper}"')
+        if self.interface:
+            lines.append(f"    Interface {', '.join(self.interface)}")
+        lines.append("}")
+        return "\n".join(lines)
+
+
+class Ontology:
+    """Synonyms and topic-proximity relationships between terms.
+
+    Terms are single normalized words; :meth:`relate` records that two
+    topics are *close* (the paper's proximity between clusters), which
+    discovery uses to rank near-miss coalitions.
+    """
+
+    def __init__(self) -> None:
+        self._synonyms: dict[str, set[str]] = {}
+        self._proximity: dict[str, set[str]] = {}
+
+    def add_synonyms(self, word: str, synonyms: Iterable[str]) -> None:
+        """Declare *synonyms* as interchangeable with *word*."""
+        group = {word.lower(), *(s.lower() for s in synonyms)}
+        for member in group:
+            self._synonyms.setdefault(member, set()).update(group)
+
+    def expand(self, words: Iterable[str]) -> frozenset[str]:
+        """Words plus all their synonyms."""
+        expanded: set[str] = set()
+        for word in words:
+            expanded.add(word)
+            expanded.update(self._synonyms.get(word, ()))
+        return frozenset(expanded)
+
+    def relate(self, topic_a: str, topic_b: str) -> None:
+        """Record topic proximity (symmetric)."""
+        a = topic_a.lower()
+        b = topic_b.lower()
+        self._proximity.setdefault(a, set()).add(b)
+        self._proximity.setdefault(b, set()).add(a)
+
+    def related(self, topic: str) -> frozenset[str]:
+        """Topics recorded as close to *topic*."""
+        return frozenset(self._proximity.get(topic.lower(), frozenset()))
+
+    def are_related(self, topic_a: str, topic_b: str) -> bool:
+        return topic_b.lower() in self._proximity.get(topic_a.lower(),
+                                                      frozenset())

@@ -1,0 +1,309 @@
+"""The WebFINDIT information-space registry.
+
+The registry is the administrative bookkeeping that keeps every
+co-database consistent with the paper's locality rule: the co-database
+of database *D* stores
+
+* *D*'s own advertisement,
+* the coalitions *D* is a member of — their class (plus lattice
+  context), their metadata record, and descriptions of **all** their
+  members,
+* service links involving those coalitions or *D* itself.
+
+Nothing else: a co-database never holds a global view, which is what
+lets WebFINDIT scale and is what the discovery algorithm navigates.
+
+Query traffic is remote (CORBA, via :class:`~repro.core.codatabase.
+CoDatabaseServant`); maintenance operations run through the registry,
+which writes directly into the affected co-databases and counts every
+write — the currency of benches S2/S3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+from repro.core.coalition import Coalition
+from repro.core.codatabase import CoDatabase
+from repro.core.model import Ontology, SourceDescription
+from repro.core.service_link import EndpointKind, ServiceLink
+from repro.errors import (MembershipError, UnknownCoalition, UnknownDatabase,
+                          WebFinditError)
+
+
+class Registry:
+    """Administers coalitions, service links, sources, and co-databases."""
+
+    def __init__(self, ontology: Optional[Ontology] = None):
+        self.ontology = ontology
+        self._sources: dict[str, SourceDescription] = {}
+        self._codatabases: dict[str, CoDatabase] = {}
+        self._coalitions: dict[str, Coalition] = {}
+        self._links: list[ServiceLink] = []
+        #: Children of each coalition (topic specialisations).
+        self._children: dict[str, list[str]] = {}
+        #: Count of individual co-database writes — the maintenance-cost
+        #: currency reported by benches S2/S3.
+        self.update_operations = 0
+
+    # ------------------------------------------------------------- sources --
+
+    def add_source(self, description: SourceDescription,
+                   codatabase_product: str = "ObjectStore") -> CoDatabase:
+        """Register an information source; creates its co-database."""
+        if description.name in self._sources:
+            raise WebFinditError(
+                f"source {description.name!r} already registered")
+        codatabase = CoDatabase(description.name, ontology=self.ontology,
+                                product=codatabase_product)
+        codatabase.advertise(description)
+        self._sources[description.name] = description
+        self._codatabases[description.name] = codatabase
+        self.update_operations += 1
+        return codatabase
+
+    def advertise(self, description: SourceDescription) -> CoDatabase:
+        """Create the source if new, else replace its advertisement
+        (propagating the refreshed description to coalition peers)."""
+        if description.name not in self._sources:
+            return self.add_source(description)
+        self._sources[description.name] = description
+        codatabase = self._codatabases[description.name]
+        codatabase.advertise(description)
+        self.update_operations += 1
+        for coalition_name in list(codatabase.memberships):
+            coalition = self._coalitions.get(coalition_name)
+            if coalition is None:
+                continue
+            for member_name in coalition.members:
+                member_codb = self._codatabases[member_name]
+                member_codb.remove_member(coalition_name, description.name)
+                member_codb.add_member(coalition_name, description)
+                self.update_operations += 1
+        return codatabase
+
+    def source(self, name: str) -> SourceDescription:
+        description = self._sources.get(name)
+        if description is None:
+            raise UnknownDatabase(f"no source {name!r} registered")
+        return description
+
+    def codatabase(self, name: str) -> CoDatabase:
+        codatabase = self._codatabases.get(name)
+        if codatabase is None:
+            raise UnknownDatabase(f"no co-database for {name!r}")
+        return codatabase
+
+    def source_names(self) -> list[str]:
+        return list(self._sources)
+
+    def remove_source(self, name: str) -> None:
+        """Unregister a source, leaving all its coalitions first."""
+        self.source(name)
+        for coalition in list(self._coalitions.values()):
+            if coalition.has_member(name):
+                self.leave(name, coalition.name)
+        self._links = [link for link in self._links
+                       if not link.involves(EndpointKind.DATABASE, name)]
+        del self._sources[name]
+        del self._codatabases[name]
+        self.update_operations += 1
+
+    # ------------------------------------------------------------ coalitions --
+
+    def create_coalition(self, name: str, information_type: str,
+                         parent: Optional[str] = None,
+                         doc: str = "") -> Coalition:
+        """Create a coalition (optionally specializing *parent*)."""
+        if name in self._coalitions:
+            raise WebFinditError(f"coalition {name!r} already exists")
+        if parent is not None and parent not in self._coalitions:
+            raise UnknownCoalition(f"no parent coalition {parent!r}")
+        coalition = Coalition(name=name, information_type=information_type,
+                              parent=parent, doc=doc)
+        self._coalitions[name] = coalition
+        self._children.setdefault(name, [])
+        if parent is not None:
+            self._children.setdefault(parent, []).append(name)
+            # Members of the parent learn the new specialization so the
+            # class lattice stays browsable from their co-databases.
+            for member in self._coalitions[parent].members:
+                self._register_lattice(self._codatabases[member], coalition)
+        return coalition
+
+    def coalition(self, name: str) -> Coalition:
+        coalition = self._coalitions.get(name)
+        if coalition is None:
+            raise UnknownCoalition(f"no coalition {name!r}")
+        return coalition
+
+    def coalition_names(self) -> list[str]:
+        return list(self._coalitions)
+
+    def dissolve_coalition(self, name: str) -> None:
+        """Dissolve a coalition: members leave, links to it are dropped."""
+        coalition = self.coalition(name)
+        if self._children.get(name):
+            raise WebFinditError(
+                f"coalition {name!r} has specializations "
+                f"{self._children[name]!r}; dissolve them first")
+        for member in list(coalition.members):
+            self.leave(member, name)
+        for link in [l for l in self._links
+                     if l.involves(EndpointKind.COALITION, name)]:
+            self.remove_service_link(link)
+        parent = coalition.parent
+        if parent is not None and name in self._children.get(parent, []):
+            self._children[parent].remove(name)
+        del self._coalitions[name]
+        self._children.pop(name, None)
+
+    # ------------------------------------------------------------ membership --
+
+    def _register_lattice(self, codatabase: CoDatabase,
+                          coalition: Coalition) -> None:
+        """Register *coalition* and its ancestor chain in *codatabase*."""
+        chain: list[Coalition] = []
+        current: Optional[Coalition] = coalition
+        while current is not None:
+            chain.append(current)
+            current = (self._coalitions.get(current.parent)
+                       if current.parent else None)
+        for ancestor in reversed(chain):
+            codatabase.register_coalition(ancestor)
+            self.update_operations += 1
+
+    def join(self, database_name: str, coalition_name: str) -> None:
+        """Join a database to a coalition, propagating metadata both ways."""
+        description = self.source(database_name)
+        coalition = self.coalition(coalition_name)
+        if coalition.has_member(database_name):
+            raise MembershipError(
+                f"{database_name!r} is already in {coalition_name!r}")
+        coalition.add_member(database_name)
+
+        joiner = self._codatabases[database_name]
+        self._register_lattice(joiner, coalition)
+        for child_name in self._children.get(coalition_name, []):
+            self._register_lattice(joiner, self._coalitions[child_name])
+        joiner.record_membership(coalition_name)
+        self.update_operations += 1
+
+        # The joiner learns every existing member (and itself)...
+        for member_name in coalition.members:
+            joiner.add_member(coalition_name, self.source(member_name))
+            self.update_operations += 1
+        # ...and existing links involving the coalition.
+        for link in self._links:
+            if link.involves(EndpointKind.COALITION, coalition_name):
+                joiner.add_service_link(link)
+                self.update_operations += 1
+
+        # Existing members learn the joiner.
+        for member_name in coalition.members:
+            if member_name == database_name:
+                continue
+            member_codb = self._codatabases[member_name]
+            member_codb.add_member(coalition_name, description)
+            self.update_operations += 1
+
+    def leave(self, database_name: str, coalition_name: str) -> None:
+        """Remove a database from a coalition, updating all co-databases."""
+        coalition = self.coalition(coalition_name)
+        if not coalition.has_member(database_name):
+            raise MembershipError(
+                f"{database_name!r} is not in {coalition_name!r}")
+        coalition.remove_member(database_name)
+        leaver = self._codatabases[database_name]
+        leaver.forget_coalition(coalition_name)
+        self.update_operations += 1
+        for member_name in coalition.members:
+            self._codatabases[member_name].remove_member(coalition_name,
+                                                         database_name)
+            self.update_operations += 1
+
+    # ------------------------------------------------------------ service links --
+
+    def _link_audience(self, link: ServiceLink) -> list[CoDatabase]:
+        """Co-databases that must know about *link*: members of coalition
+        endpoints, the database endpoints themselves."""
+        audience: list[CoDatabase] = []
+        for kind, name in ((link.from_kind, link.from_name),
+                           (link.to_kind, link.to_name)):
+            if kind is EndpointKind.COALITION:
+                for member in self.coalition(name).members:
+                    codatabase = self._codatabases[member]
+                    if codatabase not in audience:
+                        audience.append(codatabase)
+            else:
+                codatabase = self.codatabase(name)
+                if codatabase not in audience:
+                    audience.append(codatabase)
+        return audience
+
+    def add_service_link(self, link: ServiceLink) -> None:
+        """Establish a service link and propagate it to its audience.
+
+        The link's *contact* is filled in when empty: the to-database
+        itself, or the first member of the to-coalition — the co-database
+        discovery will consult to continue past the link.
+        """
+        for kind, name in ((link.from_kind, link.from_name),
+                           (link.to_kind, link.to_name)):
+            if kind is EndpointKind.COALITION:
+                self.coalition(name)
+            else:
+                self.source(name)
+        if not link.contact:
+            if link.to_kind is EndpointKind.DATABASE:
+                contact = link.to_name
+            else:
+                members = self.coalition(link.to_name).members
+                contact = members[0] if members else ""
+            link = replace(link, contact=contact)
+        if any(existing.label == link.label
+               and existing.from_kind == link.from_kind
+               and existing.to_kind == link.to_kind
+               for existing in self._links):
+            raise WebFinditError(f"service link {link.label} already exists")
+        self._links.append(link)
+        for codatabase in self._link_audience(link):
+            codatabase.add_service_link(link)
+            self.update_operations += 1
+
+    def remove_service_link(self, link: ServiceLink) -> None:
+        stored = next((existing for existing in self._links
+                       if existing.label == link.label
+                       and existing.from_kind == link.from_kind
+                       and existing.to_kind == link.to_kind), None)
+        if stored is None:
+            raise WebFinditError(f"no service link {link.label}")
+        self._links.remove(stored)
+        for codatabase in self._link_audience(stored):
+            codatabase.remove_service_link(stored)
+            self.update_operations += 1
+
+    def service_links(self) -> list[ServiceLink]:
+        return list(self._links)
+
+    # ------------------------------------------------------------- documents --
+
+    def attach_document(self, source_name: str, format_name: str,
+                        content: str, url: str = "") -> None:
+        """Store documentation in the owner's co-database."""
+        self.codatabase(source_name).attach_document(source_name, format_name,
+                                                     content, url)
+        self.update_operations += 1
+
+    # ------------------------------------------------------------- summary --
+
+    def summary(self) -> dict:
+        """Topology snapshot: counts checked against Figure 1 in tests."""
+        return {
+            "sources": len(self._sources),
+            "coalitions": len(self._coalitions),
+            "service_links": len(self._links),
+            "memberships": sum(len(c.members)
+                               for c in self._coalitions.values()),
+        }

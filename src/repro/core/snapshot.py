@@ -1,0 +1,114 @@
+"""Saving and restoring the information-space topology.
+
+The registry's administrative state — source advertisements, coalitions
+(with hierarchy and membership), service links, and documentation
+artefacts — exports to a plain JSON-able dict and imports back into a
+fresh :class:`~repro.core.registry.Registry`, rebuilding every
+co-database according to the locality rule.
+
+Native database *contents* are deliberately out of scope: sources are
+autonomous, and what WebFINDIT owns is the metadata level.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Optional
+
+from repro.core.model import Ontology, SourceDescription
+from repro.core.registry import Registry
+from repro.core.service_link import ServiceLink
+from repro.errors import WebFinditError
+
+#: Format marker written into every export.
+FORMAT = "webfindit-topology/1"
+
+
+def export_topology(registry: Registry) -> dict[str, Any]:
+    """Capture *registry*'s full administrative state."""
+    coalitions = []
+    for name in registry.coalition_names():
+        coalition = registry.coalition(name)
+        coalitions.append({
+            "name": coalition.name,
+            "information_type": coalition.information_type,
+            "parent": coalition.parent,
+            "doc": coalition.doc,
+            "members": list(coalition.members),
+        })
+    documents = []
+    for source_name in registry.source_names():
+        codatabase = registry.codatabase(source_name)
+        for document in codatabase.documents_of(source_name):
+            documents.append({"source": source_name, **document})
+    return {
+        "format": FORMAT,
+        "sources": [registry.source(name).to_wire()
+                    for name in registry.source_names()],
+        "coalitions": coalitions,
+        "service_links": [link.to_wire()
+                          for link in registry.service_links()],
+        "documents": documents,
+    }
+
+
+def import_topology(payload: dict[str, Any],
+                    ontology: Optional[Ontology] = None) -> Registry:
+    """Rebuild a registry (and all co-databases) from an export."""
+    if payload.get("format") != FORMAT:
+        raise WebFinditError(
+            f"unsupported topology format {payload.get('format')!r}; "
+            f"expected {FORMAT!r}")
+    registry = Registry(ontology=ontology)
+    for source_payload in payload.get("sources", []):
+        registry.add_source(SourceDescription.from_wire(source_payload))
+
+    coalitions = list(payload.get("coalitions", []))
+    # Parents must exist before children; resolve in dependency order.
+    created: set[str] = set()
+    remaining = coalitions
+    while remaining:
+        progressed = False
+        deferred = []
+        for coalition in remaining:
+            parent = coalition.get("parent")
+            if parent and parent not in created:
+                deferred.append(coalition)
+                continue
+            registry.create_coalition(coalition["name"],
+                                      coalition.get("information_type", ""),
+                                      parent=parent,
+                                      doc=coalition.get("doc", ""))
+            created.add(coalition["name"])
+            progressed = True
+        if not progressed:
+            names = [c["name"] for c in deferred]
+            raise WebFinditError(
+                f"cyclic or dangling coalition parents: {names!r}")
+        remaining = deferred
+
+    for coalition in coalitions:
+        for member in coalition.get("members", []):
+            registry.join(member, coalition["name"])
+    for link_payload in payload.get("service_links", []):
+        registry.add_service_link(ServiceLink.from_wire(link_payload))
+    for document in payload.get("documents", []):
+        registry.attach_document(document["source"],
+                                 document.get("format", ""),
+                                 document.get("content", ""),
+                                 document.get("url", ""))
+    return registry
+
+
+def save_topology(registry: Registry, path: str) -> None:
+    """Write an export to *path* as JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(export_topology(registry), handle, indent=2)
+
+
+def load_topology(path: str,
+                  ontology: Optional[Ontology] = None) -> Registry:
+    """Read a JSON export from *path* and rebuild the registry."""
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    return import_topology(payload, ontology=ontology)

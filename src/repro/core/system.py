@@ -1,0 +1,306 @@
+"""The WebFINDIT system facade — wiring all four layers together.
+
+:class:`WebFinditSystem` owns the communication fabric (one transport,
+one ORB per product, a naming service), the administrative
+:class:`~repro.core.registry.Registry`, and the deployment records that
+Figure 2 describes: which DBMS sits behind which ORB product through
+which gateway kind.
+
+Registering a source:
+
+1. creates its co-database (metadata layer) and activates a
+   :class:`~repro.core.codatabase.CoDatabaseServant` on the chosen ORB;
+2. wraps the native database in the right ISI — relational sources go
+   through the JDBC-style gateway, object sources through direct
+   binding (C++ analogue) or JNI-style binding — and activates the
+   wrapper as a CORBA object;
+3. binds both IORs in the naming service
+   (``webfindit/codb/<name>``, ``webfindit/isi/<name>``).
+
+Browsers obtained from :meth:`browser` then exercise the full stack:
+WebTassili text → query processor → GIOP over the transport →
+co-database / wrapper servants → native engines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.browser import Browser
+from repro.core.codatabase import CODATABASE_INTERFACE, CoDatabaseServant
+from repro.core.discovery import CoDatabaseClient
+from repro.core.model import Ontology, SourceDescription
+from repro.core.query_processor import QueryProcessor, Session
+from repro.core.registry import Registry
+from repro.core.service_link import EndpointKind, ServiceLink
+from repro.errors import UnknownDatabase, WebFinditError
+from repro.gateway.api import DriverManager
+from repro.gateway.drivers import LocalDriver
+from repro.oodb.database import ObjectDatabase
+from repro.orb.ior import Ior
+from repro.orb.naming import start_naming_service
+from repro.orb.orb import Orb
+from repro.orb.products import ORBIX, ORBIXWEB, VISIBROKER, OrbProduct, create_orb
+from repro.orb.transport import InMemoryNetwork, Transport
+from repro.sql.engine import Database
+from repro.wrappers.base import ExportedType, InformationSourceInterface
+from repro.wrappers.objectstore import ObjectDbWrapper
+from repro.wrappers.relational import RelationalWrapper
+from repro.wrappers.remote import ISI_INTERFACE, RemoteIsi, serve_isi
+
+
+@dataclass
+class DeploymentRecord:
+    """How one source is deployed (the rows of Figure 2)."""
+
+    source_name: str
+    dbms: str
+    orb_product: str
+    gateway: str  # "jdbc" | "c++" | "jni"
+    location: str
+
+
+class WebFinditSystem:
+    """A running WebFINDIT federation."""
+
+    def __init__(self, transport: Optional[Transport] = None,
+                 ontology: Optional[Ontology] = None):
+        self.transport = transport if transport is not None \
+            else InMemoryNetwork()
+        self.ontology = ontology
+        self.registry = Registry(ontology=ontology)
+        self._orbs: dict[str, Orb] = {}
+        self._system_orb = Orb(name="webfindit-system",
+                               transport=self.transport,
+                               host="system.webfindit.net",
+                               product="WebFINDIT")
+        __, self.naming = start_naming_service(self._system_orb)
+        self._deployments: dict[str, DeploymentRecord] = {}
+        self._wrappers: dict[str, InformationSourceInterface] = {}
+        self._ior_cache: dict[str, Ior] = {}
+        self._remote_isi_cache: dict[str, RemoteIsi] = {}
+        self.driver_manager = DriverManager()
+        self._local_drivers: dict[str, LocalDriver] = {}
+
+    # -------------------------------------------------------------------- ORBs --
+
+    def orb_for(self, product: OrbProduct) -> Orb:
+        """The (single) ORB instance for one product, created on demand."""
+        key = product.name
+        orb = self._orbs.get(key)
+        if orb is None:
+            host = f"{product.name.lower().replace(' ', '-')}.webfindit.net"
+            orb = create_orb(product, self.transport, host=host)
+            self._orbs[key] = orb
+        return orb
+
+    def orbs(self) -> list[Orb]:
+        return list(self._orbs.values())
+
+    # ------------------------------------------------------------- registration --
+
+    def register_relational_source(
+            self, database: Database, description: SourceDescription,
+            exported_types: Optional[list[ExportedType]] = None,
+            orb_product: OrbProduct = VISIBROKER) -> RelationalWrapper:
+        """Deploy a relational source: JDBC gateway + Java-side CORBA object."""
+        driver = self._driver_for(database)
+        connection = driver.connect(
+            f"jdbc:{driver.subprotocol}:{database.name}")
+        wrapper = RelationalWrapper(description.name, connection,
+                                    dialect=database.dialect,
+                                    exported_types=exported_types)
+        self._deploy(wrapper, description, dbms=database.dialect.product,
+                     orb_product=orb_product, gateway="jdbc")
+        return wrapper
+
+    def register_object_source(
+            self, database: ObjectDatabase, description: SourceDescription,
+            exported_types: Optional[list[ExportedType]] = None,
+            orb_product: OrbProduct = ORBIX) -> ObjectDbWrapper:
+        """Deploy an object source.
+
+        Mirrors Figure 2's bindings: a C++ ORB (Orbix) reaches the store
+        by direct method invocation, a Java ORB (OrbixWeb/VisiBroker)
+        goes through JNI.
+        """
+        binding_style = "c++" if orb_product.language == "C++" else "jni"
+        wrapper = ObjectDbWrapper(description.name, database,
+                                  binding_style=binding_style,
+                                  exported_types=exported_types)
+        self._deploy(wrapper, description, dbms=database.product,
+                     orb_product=orb_product, gateway=binding_style)
+        return wrapper
+
+    def _driver_for(self, database: Database) -> LocalDriver:
+        name = database.dialect.name
+        driver = self._local_drivers.get(name)
+        if driver is None:
+            driver = LocalDriver(name, name)
+            self._local_drivers[name] = driver
+            self.driver_manager.register(driver)
+        driver.register_database(database)
+        return driver
+
+    def _deploy(self, wrapper: InformationSourceInterface,
+                description: SourceDescription, dbms: str,
+                orb_product: OrbProduct, gateway: str) -> None:
+        name = description.name
+        if name in self._deployments:
+            raise WebFinditError(f"source {name!r} already deployed")
+        if not description.wrapper:
+            description.wrapper = (f"{description.location or 'localhost'}"
+                                   f"/{wrapper.wrapper_name}")
+        if not description.dbms:
+            description.dbms = dbms
+        description.orb_product = orb_product.name
+        if not description.interface:
+            description.interface = [t.name
+                                     for t in wrapper.exported_types()]
+        if not description.structure:
+            vocabulary: list[str] = []
+            for exported in wrapper.exported_types():
+                vocabulary.extend(a.name for a in exported.attributes)
+                vocabulary.extend(f.name for f in exported.functions)
+            description.structure = vocabulary
+
+        codatabase = self.registry.add_source(description)
+        orb = self.orb_for(orb_product)
+        codb_ior = orb.activate(CoDatabaseServant(codatabase),
+                                CODATABASE_INTERFACE,
+                                object_name=f"codb-{name}")
+        isi_ior = serve_isi(orb, wrapper, object_name=f"isi-{name}")
+        self.naming.bind(f"webfindit/codb/{name}", codb_ior)
+        self.naming.bind(f"webfindit/isi/{name}", isi_ior)
+        self._wrappers[name] = wrapper
+        self._deployments[name] = DeploymentRecord(
+            source_name=name, dbms=dbms, orb_product=orb_product.name,
+            gateway=gateway, location=description.location)
+
+    # ----------------------------------------------------------------- topology --
+
+    def create_coalition(self, name: str, information_type: str,
+                         parent: Optional[str] = None, doc: str = ""):
+        return self.registry.create_coalition(name, information_type,
+                                              parent=parent, doc=doc)
+
+    def join(self, database_name: str, coalition_name: str) -> None:
+        self.registry.join(database_name, coalition_name)
+
+    def leave(self, database_name: str, coalition_name: str) -> None:
+        self.registry.leave(database_name, coalition_name)
+
+    def link(self, from_kind: str, from_name: str, to_kind: str,
+             to_name: str, information_type: str = "",
+             description: str = "") -> ServiceLink:
+        """Establish a service link between the named endpoints."""
+        service_link = ServiceLink(
+            from_kind=EndpointKind.parse(from_kind), from_name=from_name,
+            to_kind=EndpointKind.parse(to_kind), to_name=to_name,
+            information_type=information_type, description=description)
+        self.registry.add_service_link(service_link)
+        return service_link
+
+    def attach_document(self, source_name: str, format_name: str,
+                        content: str, url: str = "") -> None:
+        self.registry.attach_document(source_name, format_name, content, url)
+
+    # ----------------------------------------------------------------- access --
+
+    def _client_orb(self) -> Orb:
+        return self._system_orb
+
+    def _resolve_ior(self, kind: str, name: str) -> Ior:
+        cache_key = f"{kind}/{name}"
+        ior = self._ior_cache.get(cache_key)
+        if ior is None:
+            ior = self.naming.resolve(f"webfindit/{kind}/{name}")
+            self._ior_cache[cache_key] = ior
+        return ior
+
+    def codatabase_client(self, database_name: str) -> CoDatabaseClient:
+        """A CORBA-backed metadata client for one source's co-database."""
+        try:
+            ior = self._resolve_ior("codb", database_name)
+        except Exception as exc:
+            raise UnknownDatabase(
+                f"no co-database bound for {database_name!r}") from exc
+        proxy = self._client_orb().proxy(ior, CODATABASE_INTERFACE)
+        return CoDatabaseClient.for_proxy(proxy, database_name)
+
+    def wrapper_client(self, database_name: str) -> InformationSourceInterface:
+        """A CORBA-backed ISI client for one source.
+
+        Clients are cached: the remote interface description is fetched
+        once, and subsequent statements cost exactly one GIOP round-trip
+        (the stub reuse a real client application would have).
+        """
+        cached = self._remote_isi_cache.get(database_name)
+        if cached is not None:
+            return cached
+        try:
+            ior = self._resolve_ior("isi", database_name)
+        except Exception as exc:
+            raise UnknownDatabase(
+                f"no wrapper bound for {database_name!r}") from exc
+        proxy = self._client_orb().proxy(ior, ISI_INTERFACE)
+        client = RemoteIsi(proxy)
+        self._remote_isi_cache[database_name] = client
+        return client
+
+    def local_wrapper(self, database_name: str) -> InformationSourceInterface:
+        """The in-process wrapper (bypasses the ORB; used by benches)."""
+        wrapper = self._wrappers.get(database_name)
+        if wrapper is None:
+            raise UnknownDatabase(f"no wrapper for {database_name!r}")
+        return wrapper
+
+    def query_processor(self, match_threshold: float = 0.5) -> QueryProcessor:
+        """A processor whose metadata and data paths cross the ORB."""
+        return QueryProcessor(resolver=self.codatabase_client,
+                              wrapper_for=self.wrapper_client,
+                              registry=self.registry,
+                              match_threshold=match_threshold)
+
+    def browser(self, home_database: str) -> Browser:
+        """An interactive session for a user of *home_database*."""
+        self.registry.source(home_database)  # validate
+        session = Session(home_database=home_database)
+        return Browser(self.query_processor(), session)
+
+    # ----------------------------------------------------------------- reports --
+
+    def deployment_map(self) -> list[DeploymentRecord]:
+        """Figure-2 style deployment inventory."""
+        return list(self._deployments.values())
+
+    def metrics(self) -> dict:
+        """Aggregated middleware counters."""
+        transport_metrics = getattr(self.transport, "metrics", None)
+        orb_stats = {
+            orb.product: {
+                "requests_sent": orb.stats.requests_sent,
+                "requests_handled": orb.stats.requests_handled,
+                "cross_product_requests": orb.stats.cross_product_requests,
+            }
+            for orb in [self._system_orb, *self._orbs.values()]
+        }
+        return {
+            "giop_messages": getattr(transport_metrics, "messages_sent", 0),
+            "giop_bytes_sent": getattr(transport_metrics, "bytes_sent", 0),
+            "orbs": orb_stats,
+            "registry_updates": self.registry.update_operations,
+        }
+
+    def reset_metrics(self) -> None:
+        """Zero all counters (benchmarks call this between phases)."""
+        transport_metrics = getattr(self.transport, "metrics", None)
+        if transport_metrics is not None:
+            transport_metrics.reset()
+        for orb in [self._system_orb, *self._orbs.values()]:
+            orb.stats.reset()
+
+
+#: Convenience re-export of the paper's product trio for deployments.
+PRODUCT_TRIO = (ORBIX, ORBIXWEB, VISIBROKER)

@@ -1,0 +1,17 @@
+"""A from-scratch object-oriented database engine.
+
+Stands in for the ObjectStore and Ontos stores of the paper's data
+layer, and provides the class-lattice machinery co-databases are built
+on.  Public surface:
+
+* :class:`~repro.oodb.database.ObjectDatabase`
+* :class:`~repro.oodb.schema.Schema`, :class:`~repro.oodb.schema.OClass`,
+  :class:`~repro.oodb.schema.Attribute`
+* :class:`~repro.oodb.objects.OObject`, :class:`~repro.oodb.objects.Oid`
+"""
+
+from repro.oodb.database import ObjectDatabase
+from repro.oodb.objects import Oid, OObject
+from repro.oodb.schema import Attribute, OClass, Schema
+
+__all__ = ["ObjectDatabase", "Schema", "OClass", "Attribute", "OObject", "Oid"]

@@ -1,0 +1,354 @@
+"""A small OQL-flavoured query language for the object engine.
+
+Grammar::
+
+    query     := SELECT projection FROM ClassName [alias] [WHERE predicate]
+                 [ORDER BY path [ASC|DESC]]
+    projection:= '*' | path (',' path)*
+    predicate := disjunct (OR disjunct)*
+    disjunct  := conjunct (AND conjunct)*
+    conjunct  := [NOT] comparison | '(' predicate ')'
+    comparison:= path op literal | path LIKE string | path IS [NOT] NULL
+    path      := name ('.' name)*     -- dots traverse object references
+
+Path traversal follows object-valued attributes through the database,
+so ``supervisor.name`` dereferences the ``supervisor`` reference and
+reads its ``name``.  Queries return lists of dicts keyed by the
+projection paths.
+
+This deliberately mirrors the level of query support the paper's
+object stores (ObjectStore, Ontos) exposed through their C++ APIs.
+"""
+
+from __future__ import annotations
+
+import datetime
+import re
+from typing import Any, Optional
+
+from repro.errors import OqlError
+from repro.oodb.objects import Oid, OObject
+
+_TOKEN_RE = re.compile(r"""
+    \s*(?:
+        (?P<string>'(?:[^']|'')*')
+      | (?P<number>-?\d+(?:\.\d+)?)
+      | (?P<path>[A-Za-z_][\w]*(?:\.[A-Za-z_][\w]*)*)
+      | (?P<op><=|>=|<>|!=|=|<|>)
+      | (?P<punct>[(),*])
+    )""", re.VERBOSE)
+
+_KEYWORDS = {"SELECT", "FROM", "WHERE", "AND", "OR", "NOT", "LIKE", "IS",
+             "NULL", "ORDER", "BY", "ASC", "DESC", "TRUE", "FALSE"}
+
+#: Sentinel projection for ``SELECT COUNT(*)``.
+COUNT_STAR = ["__count__"]
+
+
+def _tokenize(text: str) -> list[tuple[str, Any]]:
+    tokens: list[tuple[str, Any]] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            if text[position:].strip() == "":
+                break
+            raise OqlError(f"cannot tokenize OQL near {text[position:position+20]!r}")
+        position = match.end()
+        if match.lastgroup == "string":
+            raw = match.group("string")
+            tokens.append(("string", raw[1:-1].replace("''", "'")))
+        elif match.lastgroup == "number":
+            raw = match.group("number")
+            value = float(raw) if "." in raw else int(raw)
+            tokens.append(("number", value))
+        elif match.lastgroup == "path":
+            word = match.group("path")
+            if word.upper() in _KEYWORDS and "." not in word:
+                tokens.append(("keyword", word.upper()))
+            else:
+                tokens.append(("path", word))
+        elif match.lastgroup == "op":
+            op = match.group("op")
+            tokens.append(("op", "<>" if op == "!=" else op))
+        else:
+            tokens.append(("punct", match.group("punct")))
+    tokens.append(("eof", None))
+    return tokens
+
+
+class _Comparison:
+    def __init__(self, path: str, op: str, value: Any):
+        self.path = path
+        self.op = op
+        self.value = value
+
+    def evaluate(self, obj: OObject, database, alias: Optional[str]) -> bool:
+        actual = resolve_path(database, obj, self.path, alias)
+        if self.op == "IS NULL":
+            return actual is None
+        if self.op == "IS NOT NULL":
+            return actual is not None
+        if actual is None:
+            return False
+        if self.op == "LIKE":
+            parts = ["^"]
+            for char in str(self.value):
+                if char == "%":
+                    parts.append(".*")
+                elif char == "_":
+                    parts.append(".")
+                else:
+                    parts.append(re.escape(char))
+            parts.append("$")
+            return re.match("".join(parts), str(actual),
+                            re.IGNORECASE | re.DOTALL) is not None
+        expected = self.value
+        if isinstance(actual, datetime.date) and isinstance(expected, str):
+            expected = datetime.date.fromisoformat(expected)
+        try:
+            if self.op == "=":
+                return actual == expected
+            if self.op == "<>":
+                return actual != expected
+            if self.op == "<":
+                return actual < expected
+            if self.op == "<=":
+                return actual <= expected
+            if self.op == ">":
+                return actual > expected
+            if self.op == ">=":
+                return actual >= expected
+        except TypeError:
+            return False
+        raise OqlError(f"unknown operator {self.op!r}")  # pragma: no cover
+
+
+class _Not:
+    def __init__(self, inner):
+        self.inner = inner
+
+    def evaluate(self, obj, database, alias) -> bool:
+        return not self.inner.evaluate(obj, database, alias)
+
+
+class _And:
+    def __init__(self, parts):
+        self.parts = parts
+
+    def evaluate(self, obj, database, alias) -> bool:
+        return all(part.evaluate(obj, database, alias) for part in self.parts)
+
+
+class _Or:
+    def __init__(self, parts):
+        self.parts = parts
+
+    def evaluate(self, obj, database, alias) -> bool:
+        return any(part.evaluate(obj, database, alias) for part in self.parts)
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self._tokens = _tokenize(text)
+        self._pos = 0
+
+    def _peek(self) -> tuple[str, Any]:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> tuple[str, Any]:
+        token = self._tokens[self._pos]
+        if token[0] != "eof":
+            self._pos += 1
+        return token
+
+    def _accept_keyword(self, *names: str) -> Optional[str]:
+        kind, value = self._peek()
+        if kind == "keyword" and value in names:
+            self._advance()
+            return value
+        return None
+
+    def _expect_keyword(self, name: str) -> None:
+        if self._accept_keyword(name) is None:
+            raise OqlError(f"expected {name}, found {self._peek()[1]!r}")
+
+    def parse(self) -> "ParsedQuery":
+        self._expect_keyword("SELECT")
+        projection = self._projection()
+        self._expect_keyword("FROM")
+        kind, class_name = self._advance()
+        if kind != "path" or "." in class_name:
+            raise OqlError("expected a class name after FROM")
+        alias = None
+        kind, value = self._peek()
+        if kind == "path" and "." not in value:
+            alias = value
+            self._advance()
+        predicate = None
+        if self._accept_keyword("WHERE"):
+            predicate = self._predicate()
+        order_path = None
+        order_desc = False
+        if self._accept_keyword("ORDER"):
+            self._expect_keyword("BY")
+            kind, order_path = self._advance()
+            if kind != "path":
+                raise OqlError("expected a path after ORDER BY")
+            if self._accept_keyword("DESC"):
+                order_desc = True
+            else:
+                self._accept_keyword("ASC")
+        kind, value = self._peek()
+        if kind != "eof":
+            raise OqlError(f"unexpected trailing token {value!r}")
+        return ParsedQuery(projection, class_name, alias, predicate,
+                           order_path, order_desc)
+
+    def _projection(self) -> Optional[list[str]]:
+        kind, value = self._peek()
+        if kind == "punct" and value == "*":
+            self._advance()
+            return None
+        if kind == "path" and value.upper() == "COUNT" \
+                and self._tokens[self._pos + 1] == ("punct", "(") \
+                and self._tokens[self._pos + 2] == ("punct", "*") \
+                and self._tokens[self._pos + 3] == ("punct", ")"):
+            self._pos += 4
+            return COUNT_STAR
+        paths = [self._path()]
+        while self._peek() == ("punct", ","):
+            self._advance()
+            paths.append(self._path())
+        return paths
+
+    def _path(self) -> str:
+        kind, value = self._advance()
+        if kind != "path":
+            raise OqlError(f"expected attribute path, found {value!r}")
+        return value
+
+    def _predicate(self):
+        parts = [self._conjunction()]
+        while self._accept_keyword("OR"):
+            parts.append(self._conjunction())
+        return parts[0] if len(parts) == 1 else _Or(parts)
+
+    def _conjunction(self):
+        parts = [self._condition()]
+        while self._accept_keyword("AND"):
+            parts.append(self._condition())
+        return parts[0] if len(parts) == 1 else _And(parts)
+
+    def _condition(self):
+        if self._accept_keyword("NOT"):
+            return _Not(self._condition())
+        if self._peek() == ("punct", "("):
+            self._advance()
+            inner = self._predicate()
+            if self._advance() != ("punct", ")"):
+                raise OqlError("expected ')'")
+            return inner
+        path = self._path()
+        if self._accept_keyword("IS"):
+            if self._accept_keyword("NOT"):
+                self._expect_keyword("NULL")
+                return _Comparison(path, "IS NOT NULL", None)
+            self._expect_keyword("NULL")
+            return _Comparison(path, "IS NULL", None)
+        if self._accept_keyword("LIKE"):
+            kind, value = self._advance()
+            if kind != "string":
+                raise OqlError("LIKE requires a string literal")
+            return _Comparison(path, "LIKE", value)
+        kind, op = self._advance()
+        if kind != "op":
+            raise OqlError(f"expected comparison operator, found {op!r}")
+        return _Comparison(path, op, self._literal())
+
+    def _literal(self) -> Any:
+        kind, value = self._advance()
+        if kind in ("string", "number"):
+            return value
+        if kind == "keyword" and value in ("TRUE", "FALSE"):
+            return value == "TRUE"
+        if kind == "keyword" and value == "NULL":
+            return None
+        raise OqlError(f"expected a literal, found {value!r}")
+
+
+class ParsedQuery:
+    """A parsed OQL query ready for evaluation."""
+
+    def __init__(self, projection: Optional[list[str]], class_name: str,
+                 alias: Optional[str], predicate,
+                 order_path: Optional[str], order_desc: bool):
+        self.projection = projection
+        self.class_name = class_name
+        self.alias = alias
+        self.predicate = predicate
+        self.order_path = order_path
+        self.order_desc = order_desc
+
+
+def resolve_path(database, obj: OObject, path: str,
+                 alias: Optional[str]) -> Any:
+    """Follow a dotted attribute path from *obj*, dereferencing object
+    attributes through *database*.  A leading alias segment is skipped."""
+    segments = path.split(".")
+    if alias is not None and segments and segments[0] == alias:
+        segments = segments[1:]
+        if not segments:
+            raise OqlError(f"path {path!r} names the alias but no attribute")
+    current: Any = obj
+    for segment in segments:
+        if current is None:
+            return None
+        if isinstance(current, Oid):
+            current = database.get(current)
+        if not isinstance(current, OObject):
+            raise OqlError(
+                f"path {path!r}: {segment!r} applied to non-object {current!r}")
+        current = current.get(segment)
+    if isinstance(current, Oid):
+        current = database.get(current)
+    return current
+
+
+def run_query(database, oql: str) -> list[dict[str, Any]]:
+    """Parse and evaluate *oql* against *database*."""
+    parsed = _Parser(oql).parse()
+    candidates = database.extent(parsed.class_name, include_subclasses=True)
+    selected: list[OObject] = []
+    for candidate in candidates:
+        if parsed.predicate is None or parsed.predicate.evaluate(
+                candidate, database, parsed.alias):
+            selected.append(candidate)
+    if parsed.order_path is not None:
+        selected.sort(
+            key=lambda o: _sort_key(resolve_path(database, o,
+                                                 parsed.order_path,
+                                                 parsed.alias)),
+            reverse=parsed.order_desc)
+    if parsed.projection is COUNT_STAR:
+        return [{"count": len(selected)}]
+    rows: list[dict[str, Any]] = []
+    for obj in selected:
+        if parsed.projection is None:
+            row = {name: value for name, value in obj.values().items()}
+            row["_oid"] = obj.oid.value
+            row["_class"] = obj.class_name
+        else:
+            row = {}
+            for path in parsed.projection:
+                value = resolve_path(database, obj, path, parsed.alias)
+                if isinstance(value, OObject):
+                    value = value.oid.value
+                row[path] = value
+        rows.append(row)
+    return rows
+
+
+def _sort_key(value: Any):
+    # NULLs sort first ascending, matching the relational engine.
+    return (value is not None, value)

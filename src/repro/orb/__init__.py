@@ -1,0 +1,35 @@
+"""A from-scratch CORBA-style ORB substrate.
+
+Implements the middleware stack of the paper's communication layer:
+CDR marshalling, GIOP message framing, IORs, in-memory and TCP (IIOP)
+transports, an ORB with object adapter and proxies, a naming service,
+and the three ORB product flavours used by the WebFINDIT prototype.
+"""
+
+from repro.orb.cdr import CdrDecoder, CdrEncoder, decode_any, encode_any
+from repro.orb.giop import (MessageType, ReplyMessage, ReplyStatus,
+                            RequestMessage, decode_message, encode_message)
+from repro.orb.idl import (InterfaceBuilder, InterfaceDef, InterfaceRepository,
+                           OperationDef)
+from repro.orb.ior import IiopProfile, Ior, make_ior
+from repro.orb.naming import (NAMING_INTERFACE, NamingClient, NamingServant,
+                              start_naming_service)
+from repro.orb.orb import Orb, Proxy, RemoteSystemError
+from repro.orb.products import (JAVAIDL, ORBIX, ORBIXWEB, PRODUCTS, VISIBROKER,
+                                OrbProduct, create_orb, get_product)
+from repro.orb.transport import (InMemoryNetwork, TcpTransport, Transport,
+                                 TransportMetrics)
+
+__all__ = [
+    "CdrEncoder", "CdrDecoder", "encode_any", "decode_any",
+    "RequestMessage", "ReplyMessage", "ReplyStatus", "MessageType",
+    "encode_message", "decode_message",
+    "InterfaceBuilder", "InterfaceDef", "InterfaceRepository", "OperationDef",
+    "Ior", "IiopProfile", "make_ior",
+    "Orb", "Proxy", "RemoteSystemError",
+    "InMemoryNetwork", "TcpTransport", "Transport", "TransportMetrics",
+    "OrbProduct", "ORBIX", "ORBIXWEB", "VISIBROKER", "JAVAIDL", "PRODUCTS",
+    "create_orb", "get_product",
+    "NamingServant", "NamingClient", "NAMING_INTERFACE",
+    "start_naming_service",
+]

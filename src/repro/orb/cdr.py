@@ -1,0 +1,298 @@
+"""Common Data Representation (CDR) marshalling.
+
+CORBA's GIOP transfers all values in CDR: primitives are aligned to
+their natural size and encoded big- or little-endian as announced by
+the message flags.  This module implements a faithful subset:
+
+* aligned primitives — octet, boolean, short, long, long long, double;
+* strings — unsigned long length (including NUL), UTF-8 bytes, NUL;
+* sequences — unsigned long count then elements;
+* and a tagged ``any`` encoding that lets the RPC layer ship Python
+  values (None, bool, int, float, str, bytes, date, list, tuple, dict)
+  without a compiled IDL type for each.
+
+Encoders and decoders track absolute stream position so alignment
+padding matches on both sides.
+"""
+
+from __future__ import annotations
+
+import datetime
+import struct
+from typing import Any
+
+from repro.errors import MarshalError
+
+# Type tags for the `any` encoding (one octet each).
+TAG_NULL = 0
+TAG_FALSE = 1
+TAG_TRUE = 2
+TAG_LONG = 3          # 32-bit signed
+TAG_LONGLONG = 4      # 64-bit signed
+TAG_DOUBLE = 5
+TAG_STRING = 6
+TAG_BYTES = 7
+TAG_DATE = 8          # days since epoch, as long
+TAG_SEQUENCE = 9
+TAG_STRUCT = 10       # string-keyed map
+TAG_BIGINT = 11       # arbitrary precision: sign octet + byte count + bytes
+
+_INT32_MIN, _INT32_MAX = -2**31, 2**31 - 1
+_INT64_MIN, _INT64_MAX = -2**63, 2**63 - 1
+_EPOCH = datetime.date(1970, 1, 1)
+
+
+class CdrEncoder:
+    """Appends CDR-encoded values to a growing buffer."""
+
+    def __init__(self, little_endian: bool = False):
+        self.little_endian = little_endian
+        self._chunks: list[bytes] = []
+        self._size = 0
+        self._fmt = "<" if little_endian else ">"
+
+    # -- low level ------------------------------------------------------------
+
+    def _append(self, data: bytes) -> None:
+        self._chunks.append(data)
+        self._size += len(data)
+
+    def align(self, boundary: int) -> None:
+        """Pad with zero octets to the next *boundary* multiple."""
+        remainder = self._size % boundary
+        if remainder:
+            self._append(b"\x00" * (boundary - remainder))
+
+    def write_octet(self, value: int) -> None:
+        self._append(struct.pack("B", value & 0xFF))
+
+    def write_boolean(self, value: bool) -> None:
+        self.write_octet(1 if value else 0)
+
+    def write_short(self, value: int) -> None:
+        self.align(2)
+        self._append(struct.pack(self._fmt + "h", value))
+
+    def write_ushort(self, value: int) -> None:
+        self.align(2)
+        self._append(struct.pack(self._fmt + "H", value))
+
+    def write_long(self, value: int) -> None:
+        self.align(4)
+        self._append(struct.pack(self._fmt + "i", value))
+
+    def write_ulong(self, value: int) -> None:
+        self.align(4)
+        self._append(struct.pack(self._fmt + "I", value))
+
+    def write_longlong(self, value: int) -> None:
+        self.align(8)
+        self._append(struct.pack(self._fmt + "q", value))
+
+    def write_double(self, value: float) -> None:
+        self.align(8)
+        self._append(struct.pack(self._fmt + "d", value))
+
+    def write_string(self, value: str) -> None:
+        encoded = value.encode("utf-8")
+        self.write_ulong(len(encoded) + 1)  # CDR counts the trailing NUL
+        self._append(encoded)
+        self._append(b"\x00")
+
+    def write_octets(self, value: bytes) -> None:
+        self.write_ulong(len(value))
+        self._append(value)
+
+    # -- any ---------------------------------------------------------------------
+
+    def write_any(self, value: Any) -> None:
+        """Encode an arbitrary supported Python value with a type tag."""
+        if value is None:
+            self.write_octet(TAG_NULL)
+        elif value is True:
+            self.write_octet(TAG_TRUE)
+        elif value is False:
+            self.write_octet(TAG_FALSE)
+        elif isinstance(value, int):
+            if _INT32_MIN <= value <= _INT32_MAX:
+                self.write_octet(TAG_LONG)
+                self.write_long(value)
+            elif _INT64_MIN <= value <= _INT64_MAX:
+                self.write_octet(TAG_LONGLONG)
+                self.write_longlong(value)
+            else:
+                self.write_octet(TAG_BIGINT)
+                magnitude = abs(value)
+                raw = magnitude.to_bytes((magnitude.bit_length() + 7) // 8 or 1,
+                                         "big")
+                self.write_octet(0 if value >= 0 else 1)
+                self.write_octets(raw)
+        elif isinstance(value, float):
+            self.write_octet(TAG_DOUBLE)
+            self.write_double(value)
+        elif isinstance(value, str):
+            self.write_octet(TAG_STRING)
+            self.write_string(value)
+        elif isinstance(value, bytes):
+            self.write_octet(TAG_BYTES)
+            self.write_octets(value)
+        elif isinstance(value, datetime.date) and not isinstance(
+                value, datetime.datetime):
+            self.write_octet(TAG_DATE)
+            self.write_long((value - _EPOCH).days)
+        elif isinstance(value, (list, tuple)):
+            self.write_octet(TAG_SEQUENCE)
+            self.write_ulong(len(value))
+            for item in value:
+                self.write_any(item)
+        elif isinstance(value, dict):
+            self.write_octet(TAG_STRUCT)
+            self.write_ulong(len(value))
+            for key, item in value.items():
+                if not isinstance(key, str):
+                    raise MarshalError(
+                        f"struct keys must be strings, got {key!r}")
+                self.write_string(key)
+                self.write_any(item)
+        else:
+            raise MarshalError(
+                f"cannot marshal {type(value).__name__} value {value!r}")
+
+    def getvalue(self) -> bytes:
+        return b"".join(self._chunks)
+
+    def __len__(self) -> int:
+        return self._size
+
+
+class CdrDecoder:
+    """Reads CDR-encoded values from a byte buffer."""
+
+    def __init__(self, data: bytes, little_endian: bool = False,
+                 offset: int = 0):
+        self._data = data
+        self._pos = offset
+        self.little_endian = little_endian
+        self._fmt = "<" if little_endian else ">"
+
+    # -- low level -----------------------------------------------------------
+
+    def align(self, boundary: int) -> None:
+        remainder = self._pos % boundary
+        if remainder:
+            self._pos += boundary - remainder
+
+    def _take(self, count: int) -> bytes:
+        if self._pos + count > len(self._data):
+            raise MarshalError(
+                f"CDR underflow: need {count} bytes at {self._pos}, "
+                f"have {len(self._data)}")
+        chunk = self._data[self._pos:self._pos + count]
+        self._pos += count
+        return chunk
+
+    def read_octet(self) -> int:
+        return self._take(1)[0]
+
+    def read_boolean(self) -> bool:
+        return self.read_octet() != 0
+
+    def read_short(self) -> int:
+        self.align(2)
+        return struct.unpack(self._fmt + "h", self._take(2))[0]
+
+    def read_ushort(self) -> int:
+        self.align(2)
+        return struct.unpack(self._fmt + "H", self._take(2))[0]
+
+    def read_long(self) -> int:
+        self.align(4)
+        return struct.unpack(self._fmt + "i", self._take(4))[0]
+
+    def read_ulong(self) -> int:
+        self.align(4)
+        return struct.unpack(self._fmt + "I", self._take(4))[0]
+
+    def read_longlong(self) -> int:
+        self.align(8)
+        return struct.unpack(self._fmt + "q", self._take(8))[0]
+
+    def read_double(self) -> float:
+        self.align(8)
+        return struct.unpack(self._fmt + "d", self._take(8))[0]
+
+    def read_string(self) -> str:
+        length = self.read_ulong()
+        if length == 0:
+            raise MarshalError("CDR string with zero length (missing NUL)")
+        raw = self._take(length)
+        if raw[-1] != 0:
+            raise MarshalError("CDR string not NUL-terminated")
+        try:
+            return raw[:-1].decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise MarshalError(f"CDR string is not valid UTF-8: {exc}") \
+                from exc
+
+    def read_octets(self) -> bytes:
+        return self._take(self.read_ulong())
+
+    # -- any -------------------------------------------------------------------
+
+    def read_any(self) -> Any:
+        tag = self.read_octet()
+        if tag == TAG_NULL:
+            return None
+        if tag == TAG_TRUE:
+            return True
+        if tag == TAG_FALSE:
+            return False
+        if tag == TAG_LONG:
+            return self.read_long()
+        if tag == TAG_LONGLONG:
+            return self.read_longlong()
+        if tag == TAG_BIGINT:
+            negative = self.read_octet() == 1
+            magnitude = int.from_bytes(self.read_octets(), "big")
+            return -magnitude if negative else magnitude
+        if tag == TAG_DOUBLE:
+            return self.read_double()
+        if tag == TAG_STRING:
+            return self.read_string()
+        if tag == TAG_BYTES:
+            return self.read_octets()
+        if tag == TAG_DATE:
+            try:
+                return _EPOCH + datetime.timedelta(days=self.read_long())
+            except OverflowError as exc:
+                raise MarshalError("CDR date out of range") from exc
+        if tag == TAG_SEQUENCE:
+            count = self.read_ulong()
+            return [self.read_any() for _ in range(count)]
+        if tag == TAG_STRUCT:
+            count = self.read_ulong()
+            result: dict[str, Any] = {}
+            for _ in range(count):
+                key = self.read_string()
+                result[key] = self.read_any()
+            return result
+        raise MarshalError(f"unknown CDR any tag {tag}")
+
+    @property
+    def position(self) -> int:
+        return self._pos
+
+    def remaining(self) -> int:
+        return len(self._data) - self._pos
+
+
+def encode_any(value: Any, little_endian: bool = False) -> bytes:
+    """Encode one value to standalone CDR bytes."""
+    encoder = CdrEncoder(little_endian)
+    encoder.write_any(value)
+    return encoder.getvalue()
+
+
+def decode_any(data: bytes, little_endian: bool = False) -> Any:
+    """Decode one value from standalone CDR bytes."""
+    return CdrDecoder(data, little_endian).read_any()

@@ -1,0 +1,86 @@
+"""Interoperable Object References (IORs).
+
+An IOR names a CORBA object independently of the ORB that created it:
+a repository type id plus one or more IIOP profiles (host, port, object
+key).  IORs stringify to the classic ``IOR:<hex>`` form so they can be
+passed through naming services, pasted into configuration, or shipped
+inside other messages — exactly how WebFINDIT's co-database records
+point at database server objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import MarshalError
+from repro.orb.cdr import CdrDecoder, CdrEncoder
+
+
+@dataclass(frozen=True)
+class IiopProfile:
+    """One way to reach the object: an IIOP endpoint plus object key."""
+
+    host: str
+    port: int
+    object_key: bytes
+
+    @property
+    def endpoint(self) -> tuple[str, int]:
+        return (self.host, self.port)
+
+
+@dataclass(frozen=True)
+class Ior:
+    """A typed, transportable object reference."""
+
+    type_id: str
+    profiles: tuple[IiopProfile, ...] = field(default_factory=tuple)
+
+    @property
+    def primary(self) -> IiopProfile:
+        """The first profile (the one clients try first)."""
+        if not self.profiles:
+            raise MarshalError(f"IOR {self.type_id!r} has no profiles")
+        return self.profiles[0]
+
+    def to_string(self) -> str:
+        """Stringify to the standard ``IOR:<hex>`` form."""
+        encoder = CdrEncoder()
+        encoder.write_string(self.type_id)
+        encoder.write_ulong(len(self.profiles))
+        for profile in self.profiles:
+            encoder.write_string(profile.host)
+            encoder.write_ushort(profile.port)
+            encoder.write_octets(profile.object_key)
+        return "IOR:" + encoder.getvalue().hex()
+
+    @classmethod
+    def from_string(cls, text: str) -> "Ior":
+        """Parse an ``IOR:<hex>`` string."""
+        if not text.startswith("IOR:"):
+            raise MarshalError(f"not an IOR string: {text[:16]!r}")
+        try:
+            raw = bytes.fromhex(text[4:])
+        except ValueError as exc:
+            raise MarshalError("IOR string is not valid hex") from exc
+        decoder = CdrDecoder(raw)
+        type_id = decoder.read_string()
+        count = decoder.read_ulong()
+        profiles = []
+        for _ in range(count):
+            host = decoder.read_string()
+            port = decoder.read_ushort()
+            object_key = decoder.read_octets()
+            profiles.append(IiopProfile(host=host, port=port,
+                                        object_key=object_key))
+        return cls(type_id=type_id, profiles=tuple(profiles))
+
+    def __str__(self) -> str:
+        return self.to_string()
+
+
+def make_ior(type_id: str, host: str, port: int, object_key: bytes) -> Ior:
+    """Build a single-profile IOR."""
+    return Ior(type_id=type_id,
+               profiles=(IiopProfile(host=host, port=port,
+                                     object_key=object_key),))

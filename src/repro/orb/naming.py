@@ -1,0 +1,96 @@
+"""A CORBA-style Naming Service.
+
+Objects publish their stringified IORs under hierarchical names
+(``webfindit/codb/Royal Brisbane Hospital``); clients resolve names to
+object references.  The naming service is itself a CORBA object: it is
+activated on an ORB and spoken to through GIOP like everything else,
+so ``resolve`` calls count as real middleware traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import NamingError
+from repro.orb.idl import InterfaceBuilder, InterfaceDef
+from repro.orb.ior import Ior
+from repro.orb.orb import Orb, Proxy
+
+#: The naming service interface (CosNaming, reduced).
+NAMING_INTERFACE: InterfaceDef = (
+    InterfaceBuilder("NamingService", module="cosnaming",
+                     doc="Hierarchical name -> IOR binding")
+    .operation("bind", "name", "ior", doc="Bind a new name (error if bound)")
+    .operation("rebind", "name", "ior", doc="Bind, replacing any binding")
+    .operation("resolve", "name", doc="IOR string bound to name")
+    .operation("unbind", "name", doc="Remove a binding")
+    .operation("list_names", "prefix", doc="All bound names under prefix")
+    .build())
+
+
+class NamingServant:
+    """Server-side implementation of the naming service."""
+
+    def __init__(self) -> None:
+        self._bindings: dict[str, str] = {}
+
+    def bind(self, name: str, ior: str) -> bool:
+        if name in self._bindings:
+            raise NamingError(f"name {name!r} already bound")
+        self._bindings[name] = ior
+        return True
+
+    def rebind(self, name: str, ior: str) -> bool:
+        self._bindings[name] = ior
+        return True
+
+    def resolve(self, name: str) -> str:
+        ior = self._bindings.get(name)
+        if ior is None:
+            raise NamingError(f"name {name!r} not bound")
+        return ior
+
+    def unbind(self, name: str) -> bool:
+        if name not in self._bindings:
+            raise NamingError(f"name {name!r} not bound")
+        del self._bindings[name]
+        return True
+
+    def list_names(self, prefix: str) -> list[str]:
+        return sorted(name for name in self._bindings
+                      if name.startswith(prefix))
+
+
+class NamingClient:
+    """Typed client wrapper over a naming-service proxy."""
+
+    def __init__(self, proxy: Proxy):
+        self._proxy = proxy
+
+    def bind(self, name: str, ior: Ior) -> None:
+        self._proxy.invoke("bind", name, ior.to_string())
+
+    def rebind(self, name: str, ior: Ior) -> None:
+        self._proxy.invoke("rebind", name, ior.to_string())
+
+    def resolve(self, name: str) -> Ior:
+        return Ior.from_string(self._proxy.invoke("resolve", name))
+
+    def resolve_proxy(self, orb: Orb, name: str,
+                      interface: Optional[InterfaceDef] = None) -> Proxy:
+        """Resolve *name* and wrap the result as a stub on *orb*."""
+        return orb.proxy(self.resolve(name), interface)
+
+    def unbind(self, name: str) -> None:
+        self._proxy.invoke("unbind", name)
+
+    def list_names(self, prefix: str = "") -> list[str]:
+        return list(self._proxy.invoke("list_names", prefix))
+
+
+def start_naming_service(orb: Orb) -> tuple[Ior, NamingClient]:
+    """Activate a naming service on *orb*; returns (IOR, local client)."""
+    servant = NamingServant()
+    ior = orb.activate(servant, NAMING_INTERFACE, object_name="NameService")
+    client = NamingClient(orb.proxy(ior, NAMING_INTERFACE))
+    return ior, client

@@ -1,0 +1,29 @@
+"""A from-scratch in-memory relational engine with vendor dialects.
+
+This package stands in for the Oracle, mSQL, DB2 and Sybase backends of
+the paper's data layer.  Public surface:
+
+* :class:`~repro.sql.engine.Database` — create tables, execute SQL.
+* :class:`~repro.sql.result.ResultSet` — materialized query results.
+* :func:`~repro.sql.dialect.get_dialect` and the dialect constants.
+"""
+
+from repro.sql.dialect import (DB2, DIALECTS, GENERIC, MSQL, ORACLE, SYBASE,
+                               Dialect, get_dialect)
+from repro.sql.engine import Database
+from repro.sql.result import ResultSet
+from repro.sql.types import SqlType
+
+__all__ = [
+    "Database",
+    "ResultSet",
+    "SqlType",
+    "Dialect",
+    "get_dialect",
+    "DIALECTS",
+    "ORACLE",
+    "MSQL",
+    "DB2",
+    "SYBASE",
+    "GENERIC",
+]

@@ -1,0 +1,309 @@
+"""The relational database facade.
+
+:class:`Database` binds the lexer/parser, catalog, storage, planner and
+executor into a single object with an ``execute(sql, params)`` entry
+point, vendor dialects, and snapshot-based transactions.
+
+Example::
+
+    db = Database("hospital", dialect="oracle")
+    db.execute("CREATE TABLE patients (id INT PRIMARY KEY, name VARCHAR(40))")
+    db.execute("INSERT INTO patients VALUES (?, ?)", [1, "Alice"])
+    result = db.execute("SELECT name FROM patients WHERE id = 1")
+    assert result.scalar() == "Alice"
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Iterable, Optional
+
+from repro.errors import CatalogError, SqlError, TransactionError
+from repro.sql import ast
+from repro.sql.catalog import Catalog, Column, IndexDef, TableSchema
+from repro.sql.dialect import GENERIC, Dialect, get_dialect
+from repro.sql.executor import Executor
+from repro.sql.parser import Parser
+from repro.sql.result import ResultSet
+from repro.sql.storage import Table
+
+
+class Database:
+    """One in-memory relational database with a vendor dialect."""
+
+    def __init__(self, name: str, dialect: str | Dialect = GENERIC):
+        self.name = name
+        self.dialect = get_dialect(dialect) if isinstance(dialect, str) else dialect
+        self.catalog = Catalog()
+        self._tables: dict[str, Table] = {}
+        self._views: dict[str, ast.Statement] = {}
+        self._view_display_names: list[str] = []
+        self._statement_cache: dict[str, ast.Statement] = {}
+        self._snapshot: Optional[dict[str, tuple[dict, int]]] = None
+        self._lock = threading.RLock()
+        #: Cumulative statement counter, surfaced through metadata.
+        self.statements_executed = 0
+
+    # ------------------------------------------------------------- metadata --
+
+    @property
+    def banner(self) -> str:
+        """Vendor banner, e.g. ``Oracle 8.0.5``."""
+        return self.dialect.banner
+
+    def table_names(self) -> list[str]:
+        """Names of all tables, in creation order."""
+        return self.catalog.table_names()
+
+    def view_names(self) -> list[str]:
+        """Names of all views, in creation order."""
+        return list(self._view_display_names)
+
+    def view_select(self, name: str):
+        """The SELECT behind a view, or None when *name* is not a view
+        (called by the planner to expand view references)."""
+        return self._views.get(name.lower())
+
+    def table_for(self, name: str) -> Table:
+        """Storage object for *name* (used by planner/executor)."""
+        key = name.lower()
+        table = self._tables.get(key)
+        if table is None:
+            raise CatalogError(f"no table {name!r} in database {self.name!r}")
+        return table
+
+    def schema_of(self, name: str) -> TableSchema:
+        """Schema of one table."""
+        return self.catalog.table(name)
+
+    def row_count(self, name: str) -> int:
+        """Number of rows currently stored in *name*."""
+        return len(self.table_for(name))
+
+    # -------------------------------------------------------------- execution --
+
+    def execute(self, sql: str, params: Optional[list[Any]] = None) -> ResultSet:
+        """Parse and execute one SQL statement."""
+        with self._lock:
+            statement = self._parse(sql)
+            return self._execute_statement(statement, params)
+
+    def executemany(self, sql: str, rows: Iterable[list[Any]]) -> int:
+        """Execute one parameterized statement once per parameter row."""
+        total = 0
+        with self._lock:
+            statement = self._parse(sql)
+            for params in rows:
+                result = self._execute_statement(statement, list(params))
+                total += result.rowcount
+        return total
+
+    def execute_script(self, sql: str) -> list[ResultSet]:
+        """Execute a ``;``-separated script, returning one result per statement."""
+        with self._lock:
+            statements = Parser(sql).parse_script()
+            return [self._execute_statement(s, None) for s in statements]
+
+    def _parse(self, sql: str) -> ast.Statement:
+        statement = self._statement_cache.get(sql)
+        if statement is None:
+            statement = Parser(sql).parse_statement()
+            if len(self._statement_cache) > 512:
+                self._statement_cache.clear()
+            self._statement_cache[sql] = statement
+        return statement
+
+    def _execute_statement(self, statement: ast.Statement,
+                           params: Optional[list[Any]]) -> ResultSet:
+        self.statements_executed += 1
+        if isinstance(statement, ast.Explain):
+            from repro.sql.explain import explain_statement_lines
+            lines = explain_statement_lines(statement.statement, storage=self)
+            return ResultSet(columns=["plan"],
+                             rows=[(line,) for line in lines])
+        if isinstance(statement, ast.CreateTable):
+            return self._create_table(statement)
+        if isinstance(statement, ast.DropTable):
+            return self._drop_table(statement)
+        if isinstance(statement, ast.AlterTableAddColumn):
+            return self._alter_add_column(statement)
+        if isinstance(statement, ast.CreateView):
+            return self._create_view(statement)
+        if isinstance(statement, ast.DropView):
+            return self._drop_view(statement)
+        if isinstance(statement, ast.CreateIndex):
+            return self._create_index(statement)
+        if isinstance(statement, ast.DropIndex):
+            return self._drop_index(statement)
+        if isinstance(statement, ast.BeginTransaction):
+            self.begin()
+            return ResultSet.empty()
+        if isinstance(statement, ast.Commit):
+            self.commit()
+            return ResultSet.empty()
+        if isinstance(statement, ast.Rollback):
+            self.rollback()
+            return ResultSet.empty()
+        executor = Executor(self, params=params)
+        return executor.execute(statement)
+
+    # ----------------------------------------------------------------- DDL --
+
+    def _create_table(self, statement: ast.CreateTable) -> ResultSet:
+        if statement.name.lower() in self._views:
+            raise CatalogError(
+                f"a view named {statement.name!r} already exists")
+        if self.catalog.has_table(statement.name):
+            if statement.if_not_exists:
+                return ResultSet.empty()
+            raise CatalogError(f"table {statement.name!r} already exists")
+        columns = []
+        for column_def in statement.columns:
+            sql_type = self.dialect.resolve_type(column_def.type_name)
+            default = None
+            if column_def.default is not None:
+                if not isinstance(column_def.default, ast.Literal):
+                    raise SqlError("only literal defaults are supported")
+                default = column_def.default.value
+            columns.append(Column(
+                name=column_def.name,
+                sql_type=sql_type,
+                primary_key=column_def.primary_key,
+                not_null=column_def.not_null,
+                unique=column_def.unique,
+                default=default,
+            ))
+        schema = TableSchema(name=statement.name, columns=columns,
+                             primary_key=list(statement.primary_key))
+        self.catalog.add_table(schema)
+        self._tables[statement.name.lower()] = Table(schema)
+        return ResultSet.empty()
+
+    def _drop_table(self, statement: ast.DropTable) -> ResultSet:
+        if not self.catalog.has_table(statement.name):
+            if statement.if_exists:
+                return ResultSet.empty()
+            raise CatalogError(f"no table {statement.name!r}")
+        self.catalog.drop_table(statement.name)
+        del self._tables[statement.name.lower()]
+        return ResultSet.empty()
+
+    def _alter_add_column(self, statement: ast.AlterTableAddColumn) -> ResultSet:
+        table = self.table_for(statement.table)
+        column_def = statement.column
+        if column_def.primary_key:
+            raise SqlError("cannot ADD COLUMN with PRIMARY KEY")
+        default = None
+        if column_def.default is not None:
+            if not isinstance(column_def.default, ast.Literal):
+                raise SqlError("only literal defaults are supported")
+            default = column_def.default.value
+        column = Column(
+            name=column_def.name,
+            sql_type=self.dialect.resolve_type(column_def.type_name),
+            not_null=column_def.not_null,
+            unique=column_def.unique,
+            default=default)
+        table.add_column(column, default)
+        if column.unique:
+            table.add_index(f"__unique_{column.name.lower()}__",
+                            [column.name], unique=True)
+        return ResultSet.empty()
+
+    def _create_view(self, statement: ast.CreateView) -> ResultSet:
+        key = statement.name.lower()
+        if self.catalog.has_table(statement.name):
+            raise CatalogError(
+                f"a table named {statement.name!r} already exists")
+        if key in self._views:
+            raise CatalogError(f"view {statement.name!r} already exists")
+        self._views[key] = statement.select
+        self._view_display_names.append(statement.name)
+        return ResultSet.empty()
+
+    def _drop_view(self, statement: ast.DropView) -> ResultSet:
+        key = statement.name.lower()
+        if key not in self._views:
+            if statement.if_exists:
+                return ResultSet.empty()
+            raise CatalogError(f"no view {statement.name!r}")
+        del self._views[key]
+        self._view_display_names = [
+            name for name in self._view_display_names
+            if name.lower() != key]
+        return ResultSet.empty()
+
+    def _create_index(self, statement: ast.CreateIndex) -> ResultSet:
+        self.catalog.add_index(IndexDef(
+            name=statement.name, table=statement.table,
+            columns=statement.columns, unique=statement.unique))
+        table = self.table_for(statement.table)
+        table.add_index(statement.name.lower(), statement.columns,
+                        statement.unique)
+        return ResultSet.empty()
+
+    def _drop_index(self, statement: ast.DropIndex) -> ResultSet:
+        index = self.catalog.drop_index(statement.name)
+        self.table_for(index.table).drop_index(statement.name.lower())
+        return ResultSet.empty()
+
+    # ---------------------------------------------------------- transactions --
+
+    @property
+    def in_transaction(self) -> bool:
+        """True between ``BEGIN`` and ``COMMIT``/``ROLLBACK``."""
+        return self._snapshot is not None
+
+    def begin(self) -> None:
+        """Start a transaction (snapshot every table)."""
+        with self._lock:
+            if self._snapshot is not None:
+                raise TransactionError("transaction already in progress")
+            self._snapshot = {
+                name: (table.snapshot(), table.next_row_id)
+                for name, table in self._tables.items()
+            }
+
+    def commit(self) -> None:
+        """Make the changes since ``begin`` permanent."""
+        with self._lock:
+            if self._snapshot is None:
+                raise TransactionError("no transaction in progress")
+            self._snapshot = None
+
+    def rollback(self) -> None:
+        """Undo every change since ``begin``.
+
+        Tables created inside the transaction are dropped; tables dropped
+        inside it are *not* resurrected (DDL is only partially
+        transactional, as in many real engines).
+        """
+        with self._lock:
+            if self._snapshot is None:
+                raise TransactionError("no transaction in progress")
+            for name in list(self._tables):
+                if name not in self._snapshot:
+                    schema = self._tables[name].schema
+                    self.catalog.drop_table(schema.name)
+                    del self._tables[name]
+            for name, (rows, next_row_id) in self._snapshot.items():
+                table = self._tables.get(name)
+                if table is not None:
+                    table.restore(rows, next_row_id)
+            self._snapshot = None
+
+    # ------------------------------------------------------------ bulk loading --
+
+    def load_rows(self, table_name: str, rows: Iterable[Iterable[Any]]) -> int:
+        """Insert pre-shaped rows directly (bypasses SQL, keeps validation)."""
+        table = self.table_for(table_name)
+        count = 0
+        with self._lock:
+            for row in rows:
+                table.insert(list(row))
+                count += 1
+        return count
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"Database(name={self.name!r}, dialect={self.dialect.name!r}, "
+                f"tables={len(self._tables)})")

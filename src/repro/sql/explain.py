@@ -1,0 +1,145 @@
+"""EXPLAIN rendering: a human-readable access-plan description.
+
+``EXPLAIN <statement>`` returns one row per plan line, e.g.::
+
+    SELECT
+      IndexLookup(orders) key=(id)
+      Filter: amount > 100
+      Aggregate: group by customer
+      Sort: total DESC
+"""
+
+from __future__ import annotations
+
+from repro.sql import ast
+from repro.sql.planner import (DerivedTable, HashJoin, IndexLookup,
+                               NestedLoopJoin, Planner, RowSource, TableScan)
+
+
+def _render_expression(expression: ast.Expression) -> str:
+    if isinstance(expression, ast.Literal):
+        return repr(expression.value)
+    if isinstance(expression, ast.ColumnRef):
+        return str(expression)
+    if isinstance(expression, ast.Param):
+        return "?"
+    if isinstance(expression, ast.Unary):
+        return f"{expression.op} {_render_expression(expression.operand)}"
+    if isinstance(expression, ast.Binary):
+        return (f"{_render_expression(expression.left)} {expression.op} "
+                f"{_render_expression(expression.right)}")
+    if isinstance(expression, ast.IsNull):
+        negation = " NOT" if expression.negated else ""
+        return f"{_render_expression(expression.operand)} IS{negation} NULL"
+    if isinstance(expression, ast.Like):
+        return (f"{_render_expression(expression.operand)} LIKE "
+                f"{_render_expression(expression.pattern)}")
+    if isinstance(expression, ast.Between):
+        return (f"{_render_expression(expression.operand)} BETWEEN "
+                f"{_render_expression(expression.low)} AND "
+                f"{_render_expression(expression.high)}")
+    if isinstance(expression, ast.InList):
+        items = ", ".join(_render_expression(i) for i in expression.items)
+        return f"{_render_expression(expression.operand)} IN ({items})"
+    if isinstance(expression, ast.FunctionCall):
+        args = ", ".join(_render_expression(a) for a in expression.args)
+        return f"{expression.name}({args})"
+    if isinstance(expression, ast.Star):
+        return "*"
+    if isinstance(expression, ast.Cast):
+        return (f"CAST({_render_expression(expression.operand)} AS "
+                f"{expression.type_name})")
+    if isinstance(expression, (ast.ScalarSubquery, ast.InSubquery,
+                               ast.Exists)):
+        return "(subquery)"
+    if isinstance(expression, ast.Case):
+        return "CASE ... END"
+    return type(expression).__name__
+
+
+def _render_source(source: RowSource, indent: int,
+                   lines: list[str], storage=None) -> None:
+    pad = "  " * indent
+    if isinstance(source, TableScan):
+        lines.append(f"{pad}SeqScan({source.table})"
+                     + (f" as {source.binding}"
+                        if source.binding != source.table else ""))
+    elif isinstance(source, IndexLookup):
+        keys = ", ".join(source.columns)
+        lines.append(f"{pad}IndexLookup({source.table}) key=({keys})")
+    elif isinstance(source, DerivedTable):
+        lines.append(f"{pad}Derived({source.binding})")
+        for line in explain_statement_lines(source.select, storage):
+            lines.append(f"{pad}  {line}")
+    elif isinstance(source, HashJoin):
+        keys = ", ".join(
+            f"{_render_expression(l)} = {_render_expression(r)}"
+            for l, r in zip(source.left_keys, source.right_keys))
+        lines.append(f"{pad}HashJoin[{source.kind}] on {keys}")
+        _render_source(source.left, indent + 1, lines, storage)
+        _render_source(source.right, indent + 1, lines, storage)
+    elif isinstance(source, NestedLoopJoin):
+        condition = (f" on {_render_expression(source.condition)}"
+                     if source.condition is not None else "")
+        using = f" using ({', '.join(source.using)})" if source.using else ""
+        lines.append(f"{pad}NestedLoop[{source.kind}]{condition}{using}")
+        _render_source(source.left, indent + 1, lines, storage)
+        _render_source(source.right, indent + 1, lines, storage)
+    else:  # pragma: no cover - future sources
+        lines.append(f"{pad}{type(source).__name__}")
+
+
+def explain_statement_lines(statement: ast.Statement,
+                            storage=None) -> list[str]:
+    """Plan description lines for *statement* (SELECT trees are planned
+    against *storage* when given, so index choices are visible)."""
+    if isinstance(statement, ast.Union):
+        lines = [f"Union[{'ALL' if statement.all else 'DISTINCT'}]"]
+        for side in (statement.left, statement.right):
+            for line in explain_statement_lines(side, storage):
+                lines.append(f"  {line}")
+        return lines
+    if isinstance(statement, ast.Select):
+        return _explain_select(statement, storage)
+    if isinstance(statement, ast.Insert):
+        return [f"Insert({statement.table})"]
+    if isinstance(statement, ast.Update):
+        return [f"Update({statement.table})"]
+    if isinstance(statement, ast.Delete):
+        return [f"Delete({statement.table})"]
+    return [type(statement).__name__]
+
+
+def _explain_select(select: ast.Select, storage) -> list[str]:
+    lines = ["Select" + (" DISTINCT" if select.distinct else "")]
+    if select.from_item is not None:
+        if storage is not None:
+            plan = Planner(storage).plan(select)
+            _render_source(plan.source, 1, lines, storage)
+            if plan.residual_where is not None:
+                lines.append(
+                    f"  Filter: {_render_expression(plan.residual_where)}")
+        else:
+            lines.append("  (unplanned FROM)")
+    elif select.where is not None:
+        lines.append(f"  Filter: {_render_expression(select.where)}")
+    if select.from_item is not None and storage is None and select.where:
+        lines.append(f"  Filter: {_render_expression(select.where)}")
+    if select.group_by:
+        keys = ", ".join(_render_expression(e) for e in select.group_by)
+        lines.append(f"  Aggregate: group by {keys}")
+    elif any(True for item in select.items
+             if isinstance(item.expression, ast.FunctionCall)
+             and item.expression.name in ("COUNT", "SUM", "AVG", "MIN",
+                                          "MAX")):
+        lines.append("  Aggregate: scalar")
+    if select.having is not None:
+        lines.append(f"  Having: {_render_expression(select.having)}")
+    if select.order_by:
+        keys = ", ".join(
+            f"{_render_expression(o.expression)}"
+            f"{'' if o.ascending else ' DESC'}" for o in select.order_by)
+        lines.append(f"  Sort: {keys}")
+    if select.limit is not None:
+        lines.append(f"  Limit: {_render_expression(select.limit)}")
+    return lines

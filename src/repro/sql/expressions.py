@@ -1,0 +1,429 @@
+"""Expression evaluation with SQL semantics.
+
+The evaluator implements three-valued logic (NULL-aware AND/OR/NOT),
+NULL-propagating arithmetic and comparisons, LIKE pattern matching,
+scalar function dispatch, CASE, and subquery forms (scalar, IN, EXISTS).
+
+Rows are evaluated inside an :class:`Environment`: a mapping from column
+bindings to values that chains to an outer environment so correlated
+subqueries can see enclosing rows.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Callable, Optional
+
+from repro.errors import CatalogError, SqlError
+from repro.sql import ast
+from repro.sql.functions import SCALAR_FUNCTIONS, is_aggregate
+from repro.sql.types import TYPE_SYNONYMS, coerce, comparable
+
+
+class Header:
+    """The column layout of an intermediate relation.
+
+    Each slot is a ``(binding, column_name)`` pair; *binding* is the
+    table alias (or None for computed columns).  Lookup resolves both
+    qualified (``t.c``) and bare (``c``) references, raising on
+    ambiguity as a real engine would.
+    """
+
+    def __init__(self, slots: list[tuple[Optional[str], str]]):
+        self.slots = slots
+        self._by_qualified: dict[tuple[str, str], int] = {}
+        self._by_name: dict[str, list[int]] = {}
+        for position, (binding, column) in enumerate(slots):
+            lowered = column.lower()
+            self._by_name.setdefault(lowered, []).append(position)
+            if binding is not None:
+                self._by_qualified[(binding.lower(), lowered)] = position
+
+    def resolve(self, name: str, table: Optional[str] = None) -> Optional[int]:
+        """Slot position for a column reference, or None when unknown."""
+        lowered = name.lower()
+        if table is not None:
+            return self._by_qualified.get((table.lower(), lowered))
+        positions = self._by_name.get(lowered)
+        if not positions:
+            return None
+        if len(positions) > 1:
+            raise CatalogError(f"ambiguous column reference {name!r}")
+        return positions[0]
+
+    def positions_for_binding(self, binding: str) -> list[int]:
+        """All slots belonging to one table binding (for ``t.*``)."""
+        lowered = binding.lower()
+        return [i for i, (b, _) in enumerate(self.slots)
+                if b is not None and b.lower() == lowered]
+
+    def __add__(self, other: "Header") -> "Header":
+        return Header(self.slots + other.slots)
+
+    def __len__(self) -> int:
+        return len(self.slots)
+
+    @property
+    def column_names(self) -> list[str]:
+        return [column for _, column in self.slots]
+
+
+class Environment:
+    """One row bound to a header, chained to an optional outer scope."""
+
+    def __init__(self, header: Header, row: tuple,
+                 outer: Optional["Environment"] = None,
+                 aggregates: Optional[dict[int, Any]] = None):
+        self.header = header
+        self.row = row
+        self.outer = outer
+        #: id(FunctionCall-node) -> computed aggregate value, used when
+        #: projecting the output of a GROUP BY.
+        self.aggregates = aggregates or {}
+
+    def lookup(self, name: str, table: Optional[str]) -> Any:
+        position = self.header.resolve(name, table)
+        if position is not None:
+            return self.row[position]
+        if self.outer is not None:
+            return self.outer.lookup(name, table)
+        qualified = f"{table}.{name}" if table else name
+        raise CatalogError(f"unknown column {qualified!r}")
+
+
+_LIKE_CACHE: dict[str, re.Pattern] = {}
+
+
+def like_match(value: Any, pattern: Any) -> Optional[bool]:
+    """SQL LIKE with ``%`` and ``_``; NULL operands yield NULL."""
+    if value is None or pattern is None:
+        return None
+    compiled = _LIKE_CACHE.get(pattern)
+    if compiled is None:
+        regex_parts = ["^"]
+        for char in str(pattern):
+            if char == "%":
+                regex_parts.append(".*")
+            elif char == "_":
+                regex_parts.append(".")
+            else:
+                regex_parts.append(re.escape(char))
+        regex_parts.append("$")
+        compiled = re.compile("".join(regex_parts), re.IGNORECASE | re.DOTALL)
+        _LIKE_CACHE[pattern] = compiled
+    return compiled.match(str(value)) is not None
+
+
+def _compare(op: str, left: Any, right: Any) -> Optional[bool]:
+    """NULL-propagating comparison."""
+    if left is None or right is None:
+        return None
+    left, right = _coerce_date_pair(left, right)
+    if not comparable(left, right):
+        # Mixed types never compare equal but are not an error for =/<>,
+        # mirroring permissive engines; ordering comparisons do raise.
+        if op == "=":
+            return False
+        if op == "<>":
+            return True
+        raise SqlError(f"cannot compare {type(left).__name__} with {type(right).__name__}")
+    if op == "=":
+        return left == right
+    if op == "<>":
+        return left != right
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    if op == ">=":
+        return left >= right
+    raise SqlError(f"unknown comparison operator {op!r}")  # pragma: no cover
+
+
+def _coerce_date_pair(left: Any, right: Any) -> tuple[Any, Any]:
+    """Promote an ISO string to a date when compared against a date
+    column, the way SQL engines implicitly cast date literals."""
+    import datetime
+
+    if isinstance(left, datetime.date) and isinstance(right, str):
+        try:
+            return left, datetime.date.fromisoformat(right)
+        except ValueError:
+            return left, right
+    if isinstance(right, datetime.date) and isinstance(left, str):
+        try:
+            return datetime.date.fromisoformat(left), right
+        except ValueError:
+            return left, right
+    return left, right
+
+
+def _arith(op: str, left: Any, right: Any) -> Any:
+    """NULL-propagating arithmetic and string concatenation."""
+    if left is None or right is None:
+        return None
+    if op == "||":
+        return str(left) + str(right)
+    if not isinstance(left, (int, float)) or isinstance(left, bool) or \
+            not isinstance(right, (int, float)) or isinstance(right, bool):
+        raise SqlError(f"operator {op!r} requires numeric operands, "
+                       f"got {left!r} and {right!r}")
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        if right == 0:
+            raise SqlError("division by zero")
+        result = left / right
+        if isinstance(left, int) and isinstance(right, int) and result.is_integer():
+            return int(result)
+        return result
+    if op == "%":
+        if right == 0:
+            raise SqlError("modulo by zero")
+        return left % right
+    raise SqlError(f"unknown arithmetic operator {op!r}")  # pragma: no cover
+
+
+def is_truthy(value: Any) -> bool:
+    """Collapse three-valued logic to a WHERE-clause decision."""
+    return value is True
+
+
+class Evaluator:
+    """Evaluates AST expressions against an :class:`Environment`.
+
+    *subquery_executor* is a callable ``(select, outer_env) -> list[tuple]``
+    supplied by the executor so subqueries can run with correlation.
+    *params* carries positional ``?`` bindings.
+    """
+
+    def __init__(self,
+                 subquery_executor: Optional[Callable[[ast.Select, Environment], list[tuple]]] = None,
+                 params: Optional[list[Any]] = None):
+        self._run_subquery = subquery_executor
+        self._params = params or []
+
+    def evaluate(self, expression: ast.Expression, env: Environment) -> Any:
+        method = getattr(self, f"_eval_{type(expression).__name__.lower()}", None)
+        if method is None:
+            raise SqlError(f"cannot evaluate {type(expression).__name__}")
+        return method(expression, env)
+
+    # -- leaf nodes -----------------------------------------------------------
+
+    def _eval_literal(self, node: ast.Literal, env: Environment) -> Any:
+        return node.value
+
+    def _eval_columnref(self, node: ast.ColumnRef, env: Environment) -> Any:
+        return env.lookup(node.name, node.table)
+
+    def _eval_param(self, node: ast.Param, env: Environment) -> Any:
+        if node.index >= len(self._params):
+            raise SqlError(f"missing value for parameter {node.index + 1}")
+        return self._params[node.index]
+
+    def _eval_star(self, node: ast.Star, env: Environment) -> Any:
+        raise SqlError("* is only valid in a select list or COUNT(*)")
+
+    # -- operators ---------------------------------------------------------------
+
+    def _eval_unary(self, node: ast.Unary, env: Environment) -> Any:
+        if node.op == "NOT":
+            value = self.evaluate(node.operand, env)
+            if value is None:
+                return None
+            return not is_truthy(value)
+        value = self.evaluate(node.operand, env)
+        if value is None:
+            return None
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise SqlError(f"unary {node.op} requires a number, got {value!r}")
+        return -value if node.op == "-" else value
+
+    def _eval_binary(self, node: ast.Binary, env: Environment) -> Any:
+        if node.op == "AND":
+            left = self.evaluate(node.left, env)
+            if left is False:
+                return False
+            right = self.evaluate(node.right, env)
+            if right is False:
+                return False
+            if left is None or right is None:
+                return None
+            return is_truthy(left) and is_truthy(right)
+        if node.op == "OR":
+            left = self.evaluate(node.left, env)
+            if left is True:
+                return True
+            right = self.evaluate(node.right, env)
+            if right is True:
+                return True
+            if left is None or right is None:
+                return None
+            return is_truthy(left) or is_truthy(right)
+        left = self.evaluate(node.left, env)
+        right = self.evaluate(node.right, env)
+        if node.op in ("=", "<>", "<", "<=", ">", ">="):
+            return _compare(node.op, left, right)
+        return _arith(node.op, left, right)
+
+    def _eval_isnull(self, node: ast.IsNull, env: Environment) -> bool:
+        value = self.evaluate(node.operand, env)
+        return (value is not None) if node.negated else (value is None)
+
+    def _eval_between(self, node: ast.Between, env: Environment) -> Optional[bool]:
+        value = self.evaluate(node.operand, env)
+        low = self.evaluate(node.low, env)
+        high = self.evaluate(node.high, env)
+        lower_ok = _compare(">=", value, low)
+        upper_ok = _compare("<=", value, high)
+        if lower_ok is None or upper_ok is None:
+            return None
+        result = lower_ok and upper_ok
+        return (not result) if node.negated else result
+
+    def _eval_like(self, node: ast.Like, env: Environment) -> Optional[bool]:
+        result = like_match(self.evaluate(node.operand, env),
+                            self.evaluate(node.pattern, env))
+        if result is None:
+            return None
+        return (not result) if node.negated else result
+
+    def _eval_inlist(self, node: ast.InList, env: Environment) -> Optional[bool]:
+        value = self.evaluate(node.operand, env)
+        if value is None:
+            return None
+        saw_null = False
+        for item in node.items:
+            candidate = self.evaluate(item, env)
+            if candidate is None:
+                saw_null = True
+                continue
+            if _compare("=", value, candidate) is True:
+                return not node.negated
+        if saw_null:
+            return None
+        return node.negated
+
+    def _eval_insubquery(self, node: ast.InSubquery, env: Environment) -> Optional[bool]:
+        value = self.evaluate(node.operand, env)
+        if value is None:
+            return None
+        rows = self._execute_subquery(node.subquery, env)
+        saw_null = False
+        for row in rows:
+            candidate = row[0]
+            if candidate is None:
+                saw_null = True
+            elif _compare("=", value, candidate) is True:
+                return not node.negated
+        if saw_null:
+            return None
+        return node.negated
+
+    def _eval_exists(self, node: ast.Exists, env: Environment) -> bool:
+        rows = self._execute_subquery(node.subquery, env)
+        found = bool(rows)
+        return (not found) if node.negated else found
+
+    def _eval_scalarsubquery(self, node: ast.ScalarSubquery, env: Environment) -> Any:
+        rows = self._execute_subquery(node.subquery, env)
+        if not rows:
+            return None
+        if len(rows) > 1:
+            raise SqlError("scalar subquery returned more than one row")
+        if len(rows[0]) != 1:
+            raise SqlError("scalar subquery must return exactly one column")
+        return rows[0][0]
+
+    def _eval_case(self, node: ast.Case, env: Environment) -> Any:
+        if node.operand is not None:
+            subject = self.evaluate(node.operand, env)
+            for when in node.whens:
+                if _compare("=", subject, self.evaluate(when.condition, env)) is True:
+                    return self.evaluate(when.result, env)
+        else:
+            for when in node.whens:
+                if is_truthy(self.evaluate(when.condition, env)):
+                    return self.evaluate(when.result, env)
+        if node.default is not None:
+            return self.evaluate(node.default, env)
+        return None
+
+    def _eval_cast(self, node: ast.Cast, env: Environment) -> Any:
+        value = self.evaluate(node.operand, env)
+        target = TYPE_SYNONYMS.get(node.type_name)
+        if target is None:
+            raise SqlError(f"CAST to unknown type {node.type_name!r}")
+        return coerce(value, target)
+
+    def _eval_functioncall(self, node: ast.FunctionCall, env: Environment) -> Any:
+        if is_aggregate(node.name):
+            if id(node) in env.aggregates:
+                return env.aggregates[id(node)]
+            raise SqlError(
+                f"aggregate {node.name} used outside GROUP BY context")
+        fn = SCALAR_FUNCTIONS.get(node.name)
+        if fn is None:
+            raise SqlError(f"unknown function {node.name}")
+        args = [self.evaluate(arg, env) for arg in node.args]
+        return fn(*args)
+
+    # -- helpers --------------------------------------------------------------
+
+    def _execute_subquery(self, select: ast.Select, env: Environment) -> list[tuple]:
+        if self._run_subquery is None:
+            raise SqlError("subqueries are not available in this context")
+        return self._run_subquery(select, env)
+
+
+def collect_aggregates(expression: Optional[ast.Expression]) -> list[ast.FunctionCall]:
+    """All aggregate FunctionCall nodes inside *expression* (not descending
+    into subqueries, which are evaluated in their own scope)."""
+    found: list[ast.FunctionCall] = []
+
+    def walk(node: Any) -> None:
+        if node is None:
+            return
+        if isinstance(node, ast.FunctionCall):
+            if is_aggregate(node.name):
+                found.append(node)
+                return  # nested aggregates are invalid; don't descend
+            for arg in node.args:
+                walk(arg)
+            return
+        if isinstance(node, (ast.ScalarSubquery, ast.InSubquery, ast.Exists)):
+            return
+        if isinstance(node, ast.Unary):
+            walk(node.operand)
+        elif isinstance(node, ast.Binary):
+            walk(node.left)
+            walk(node.right)
+        elif isinstance(node, ast.IsNull):
+            walk(node.operand)
+        elif isinstance(node, ast.InList):
+            walk(node.operand)
+            for item in node.items:
+                walk(item)
+        elif isinstance(node, ast.Between):
+            walk(node.operand)
+            walk(node.low)
+            walk(node.high)
+        elif isinstance(node, ast.Like):
+            walk(node.operand)
+            walk(node.pattern)
+        elif isinstance(node, ast.Case):
+            walk(node.operand)
+            for when in node.whens:
+                walk(when.condition)
+                walk(when.result)
+            walk(node.default)
+
+    walk(expression)
+    return found

@@ -1,0 +1,314 @@
+"""Scalar and aggregate SQL functions.
+
+Scalar functions are plain Python callables registered in
+:data:`SCALAR_FUNCTIONS`; they receive already-evaluated arguments and
+must implement SQL NULL propagation themselves where appropriate (the
+common case — return NULL when any argument is NULL — is provided by the
+``_null_propagating`` decorator).
+
+Aggregates are small accumulator classes registered in
+:data:`AGGREGATE_FUNCTIONS`.
+"""
+
+from __future__ import annotations
+
+import datetime
+import math
+from typing import Any, Callable, Optional
+
+from repro.errors import SqlError
+
+# ---------------------------------------------------------------------------
+# Scalar functions
+# ---------------------------------------------------------------------------
+
+ScalarFn = Callable[..., Any]
+
+
+def _null_propagating(fn: ScalarFn) -> ScalarFn:
+    def wrapper(*args: Any) -> Any:
+        if any(arg is None for arg in args):
+            return None
+        return fn(*args)
+    wrapper.__name__ = fn.__name__
+    wrapper.__doc__ = fn.__doc__
+    return wrapper
+
+
+@_null_propagating
+def _upper(value: str) -> str:
+    """UPPER(text) — upper-case."""
+    return str(value).upper()
+
+
+@_null_propagating
+def _lower(value: str) -> str:
+    """LOWER(text) — lower-case."""
+    return str(value).lower()
+
+
+@_null_propagating
+def _length(value: str) -> int:
+    """LENGTH(text) — number of characters."""
+    return len(str(value))
+
+
+@_null_propagating
+def _substr(value: str, start: int, length: Optional[int] = None) -> str:
+    """SUBSTR(text, start[, length]) — 1-based substring."""
+    text = str(value)
+    begin = max(int(start) - 1, 0)
+    if length is None:
+        return text[begin:]
+    return text[begin:begin + int(length)]
+
+
+@_null_propagating
+def _trim(value: str) -> str:
+    """TRIM(text) — strip leading/trailing whitespace."""
+    return str(value).strip()
+
+
+@_null_propagating
+def _abs(value: float) -> float:
+    """ABS(number)."""
+    return abs(value)
+
+
+@_null_propagating
+def _round(value: float, digits: int = 0) -> float:
+    """ROUND(number[, digits])."""
+    result = round(float(value), int(digits))
+    return result if digits else float(int(result))
+
+
+@_null_propagating
+def _floor(value: float) -> int:
+    """FLOOR(number)."""
+    return math.floor(value)
+
+
+@_null_propagating
+def _ceil(value: float) -> int:
+    """CEIL(number)."""
+    return math.ceil(value)
+
+
+@_null_propagating
+def _mod(left: float, right: float) -> float:
+    """MOD(a, b)."""
+    if right == 0:
+        raise SqlError("MOD by zero")
+    return left % right
+
+
+def _coalesce(*args: Any) -> Any:
+    """COALESCE(a, b, ...) — first non-NULL argument."""
+    for arg in args:
+        if arg is not None:
+            return arg
+    return None
+
+
+def _nullif(left: Any, right: Any) -> Any:
+    """NULLIF(a, b) — NULL when a = b, else a."""
+    return None if left == right else left
+
+
+def _ifnull(value: Any, default: Any) -> Any:
+    """IFNULL(a, b) — b when a is NULL, else a."""
+    return default if value is None else value
+
+
+@_null_propagating
+def _concat(*args: Any) -> str:
+    """CONCAT(a, b, ...) — string concatenation."""
+    return "".join(str(arg) for arg in args)
+
+
+@_null_propagating
+def _replace(value: str, old: str, new: str) -> str:
+    """REPLACE(text, old, new)."""
+    return str(value).replace(str(old), str(new))
+
+
+@_null_propagating
+def _instr(value: str, needle: str) -> int:
+    """INSTR(text, needle) — 1-based position, 0 when absent."""
+    return str(value).find(str(needle)) + 1
+
+
+@_null_propagating
+def _year(value: datetime.date) -> int:
+    """YEAR(date)."""
+    return value.year
+
+
+@_null_propagating
+def _month(value: datetime.date) -> int:
+    """MONTH(date)."""
+    return value.month
+
+
+@_null_propagating
+def _day(value: datetime.date) -> int:
+    """DAY(date)."""
+    return value.day
+
+
+@_null_propagating
+def _date(value: str) -> datetime.date:
+    """DATE('YYYY-MM-DD') — parse an ISO date."""
+    if isinstance(value, datetime.date):
+        return value
+    return datetime.date.fromisoformat(str(value))
+
+
+SCALAR_FUNCTIONS: dict[str, ScalarFn] = {
+    "UPPER": _upper,
+    "LOWER": _lower,
+    "LENGTH": _length,
+    "SUBSTR": _substr,
+    "SUBSTRING": _substr,
+    "TRIM": _trim,
+    "ABS": _abs,
+    "ROUND": _round,
+    "FLOOR": _floor,
+    "CEIL": _ceil,
+    "CEILING": _ceil,
+    "MOD": _mod,
+    "COALESCE": _coalesce,
+    "NULLIF": _nullif,
+    "IFNULL": _ifnull,
+    "NVL": _ifnull,  # Oracle spelling
+    "CONCAT": _concat,
+    "REPLACE": _replace,
+    "INSTR": _instr,
+    "YEAR": _year,
+    "MONTH": _month,
+    "DAY": _day,
+    "DATE": _date,
+}
+
+
+# ---------------------------------------------------------------------------
+# Aggregates
+# ---------------------------------------------------------------------------
+
+class Aggregate:
+    """Base accumulator.  ``add`` sees one evaluated argument per row;
+    ``result`` produces the final value."""
+
+    def __init__(self, distinct: bool = False):
+        self._distinct = distinct
+        self._seen: set = set()
+
+    def _admit(self, value: Any) -> bool:
+        """NULLs never participate; DISTINCT filters repeats."""
+        if value is None:
+            return False
+        if self._distinct:
+            if value in self._seen:
+                return False
+            self._seen.add(value)
+        return True
+
+    def add(self, value: Any) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def result(self) -> Any:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class CountAggregate(Aggregate):
+    """COUNT(expr) / COUNT(*) / COUNT(DISTINCT expr)."""
+
+    def __init__(self, distinct: bool = False, count_star: bool = False):
+        super().__init__(distinct)
+        self._count_star = count_star
+        self._count = 0
+
+    def add(self, value: Any) -> None:
+        if self._count_star:
+            self._count += 1
+        elif self._admit(value):
+            self._count += 1
+
+    def result(self) -> int:
+        return self._count
+
+
+class SumAggregate(Aggregate):
+    """SUM(expr) — NULL over an empty or all-NULL input."""
+
+    def __init__(self, distinct: bool = False):
+        super().__init__(distinct)
+        self._total: Optional[float] = None
+
+    def add(self, value: Any) -> None:
+        if self._admit(value):
+            self._total = value if self._total is None else self._total + value
+
+    def result(self) -> Any:
+        return self._total
+
+
+class AvgAggregate(Aggregate):
+    """AVG(expr)."""
+
+    def __init__(self, distinct: bool = False):
+        super().__init__(distinct)
+        self._total = 0.0
+        self._count = 0
+
+    def add(self, value: Any) -> None:
+        if self._admit(value):
+            self._total += value
+            self._count += 1
+
+    def result(self) -> Optional[float]:
+        return self._total / self._count if self._count else None
+
+
+class MinAggregate(Aggregate):
+    """MIN(expr)."""
+
+    def __init__(self, distinct: bool = False):
+        super().__init__(distinct)
+        self._min: Any = None
+
+    def add(self, value: Any) -> None:
+        if self._admit(value) and (self._min is None or value < self._min):
+            self._min = value
+
+    def result(self) -> Any:
+        return self._min
+
+
+class MaxAggregate(Aggregate):
+    """MAX(expr)."""
+
+    def __init__(self, distinct: bool = False):
+        super().__init__(distinct)
+        self._max: Any = None
+
+    def add(self, value: Any) -> None:
+        if self._admit(value) and (self._max is None or value > self._max):
+            self._max = value
+
+    def result(self) -> Any:
+        return self._max
+
+
+AGGREGATE_FUNCTIONS: dict[str, type[Aggregate]] = {
+    "COUNT": CountAggregate,
+    "SUM": SumAggregate,
+    "AVG": AvgAggregate,
+    "MIN": MinAggregate,
+    "MAX": MaxAggregate,
+}
+
+
+def is_aggregate(name: str) -> bool:
+    """True when *name* (any case) is an aggregate function."""
+    return name.upper() in AGGREGATE_FUNCTIONS

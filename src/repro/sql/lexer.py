@@ -1,0 +1,171 @@
+"""Hand-written SQL tokenizer.
+
+Supports:
+
+* identifiers (bare, ``"quoted"``, or dialect-specific ``[bracketed]``),
+* integer and real literals (including exponents),
+* single-quoted string literals with ``''`` escaping,
+* line comments (``-- ...``) and block comments (``/* ... */``),
+* positional parameters ``?``,
+* the operator and punctuation sets of :mod:`repro.sql.tokens`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SqlSyntaxError
+from repro.sql.tokens import KEYWORDS, OPERATORS, PUNCTUATION, Token, TokenType
+
+
+class Lexer:
+    """Tokenizes a SQL string into a list of :class:`Token`."""
+
+    def __init__(self, text: str):
+        self._text = text
+        self._pos = 0
+        self._line = 1
+        self._column = 1
+
+    def tokenize(self) -> list[Token]:
+        """Return all tokens, terminated by a single EOF token."""
+        tokens: list[Token] = []
+        while True:
+            self._skip_whitespace_and_comments()
+            if self._pos >= len(self._text):
+                tokens.append(Token(TokenType.EOF, None, self._line, self._column))
+                return tokens
+            tokens.append(self._next_token())
+
+    # -- internals ---------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self._pos + offset
+        return self._text[index] if index < len(self._text) else ""
+
+    def _advance(self, count: int = 1) -> str:
+        consumed = self._text[self._pos:self._pos + count]
+        for char in consumed:
+            if char == "\n":
+                self._line += 1
+                self._column = 1
+            else:
+                self._column += 1
+        self._pos += count
+        return consumed
+
+    def _error(self, message: str) -> SqlSyntaxError:
+        return SqlSyntaxError(message, self._line, self._column)
+
+    def _skip_whitespace_and_comments(self) -> None:
+        while self._pos < len(self._text):
+            char = self._peek()
+            if char.isspace():
+                self._advance()
+            elif char == "-" and self._peek(1) == "-":
+                while self._pos < len(self._text) and self._peek() != "\n":
+                    self._advance()
+            elif char == "/" and self._peek(1) == "*":
+                self._advance(2)
+                while self._pos < len(self._text):
+                    if self._peek() == "*" and self._peek(1) == "/":
+                        self._advance(2)
+                        break
+                    self._advance()
+                else:
+                    raise self._error("unterminated block comment")
+            else:
+                return
+
+    def _next_token(self) -> Token:
+        line, column = self._line, self._column
+        char = self._peek()
+
+        if char.isalpha() or char == "_":
+            return self._lex_word(line, column)
+        if char.isdigit() or (char == "." and self._peek(1).isdigit()):
+            return self._lex_number(line, column)
+        if char == "'":
+            return self._lex_string(line, column)
+        if char == '"':
+            return self._lex_quoted_identifier(line, column, closer='"')
+        if char == "[":
+            return self._lex_quoted_identifier(line, column, closer="]")
+        if char == "?":
+            self._advance()
+            return Token(TokenType.PARAM, "?", line, column)
+        for op in OPERATORS:
+            if self._text.startswith(op, self._pos):
+                self._advance(len(op))
+                return Token(TokenType.OPERATOR, op, line, column)
+        if char in PUNCTUATION:
+            self._advance()
+            return Token(TokenType.PUNCT, char, line, column)
+        raise self._error(f"unexpected character {char!r}")
+
+    def _lex_word(self, line: int, column: int) -> Token:
+        start = self._pos
+        while self._pos < len(self._text) and (self._peek().isalnum() or self._peek() == "_"):
+            self._advance()
+        word = self._text[start:self._pos]
+        upper = word.upper()
+        if upper in KEYWORDS:
+            return Token(TokenType.KEYWORD, upper, line, column)
+        return Token(TokenType.IDENTIFIER, word, line, column)
+
+    def _lex_number(self, line: int, column: int) -> Token:
+        start = self._pos
+        is_real = False
+        while self._peek().isdigit():
+            self._advance()
+        if self._peek() == "." and self._peek(1) != ".":
+            is_real = True
+            self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        if self._peek() in ("e", "E"):
+            lookahead = 1
+            if self._peek(1) in ("+", "-"):
+                lookahead = 2
+            if self._peek(lookahead).isdigit():
+                is_real = True
+                self._advance(lookahead)
+                while self._peek().isdigit():
+                    self._advance()
+        text = self._text[start:self._pos]
+        if is_real:
+            return Token(TokenType.REAL, float(text), line, column)
+        return Token(TokenType.INTEGER, int(text), line, column)
+
+    def _lex_string(self, line: int, column: int) -> Token:
+        self._advance()  # opening quote
+        parts: list[str] = []
+        while True:
+            if self._pos >= len(self._text):
+                raise self._error("unterminated string literal")
+            char = self._peek()
+            if char == "'":
+                if self._peek(1) == "'":  # escaped quote
+                    parts.append("'")
+                    self._advance(2)
+                    continue
+                self._advance()
+                return Token(TokenType.STRING, "".join(parts), line, column)
+            parts.append(char)
+            self._advance()
+
+    def _lex_quoted_identifier(self, line: int, column: int, closer: str) -> Token:
+        self._advance()  # opening quote/bracket
+        start = self._pos
+        while self._pos < len(self._text) and self._peek() != closer:
+            self._advance()
+        if self._pos >= len(self._text):
+            raise self._error("unterminated quoted identifier")
+        name = self._text[start:self._pos]
+        self._advance()  # closer
+        if not name:
+            raise self._error("empty quoted identifier")
+        return Token(TokenType.IDENTIFIER, name, line, column)
+
+
+def tokenize(text: str) -> list[Token]:
+    """Convenience wrapper: tokenize *text* in one call."""
+    return Lexer(text).tokenize()

@@ -1,0 +1,687 @@
+"""Recursive-descent SQL parser producing :mod:`repro.sql.ast` trees.
+
+Grammar (informal)::
+
+    statement   := select | insert | update | delete | create_table
+                 | drop_table | create_view | drop_view | create_index
+                 | drop_index | begin | commit | rollback
+                 | EXPLAIN statement
+    select      := select_core (UNION [ALL] select_core)*
+                   [ORDER BY ...] [LIMIT ... [OFFSET ...]]
+    expression  := or_expr
+    or_expr     := and_expr (OR and_expr)*
+    and_expr    := not_expr (AND not_expr)*
+    not_expr    := NOT not_expr | predicate
+    predicate   := additive [comparison | IS | IN | LIKE | BETWEEN]
+    additive    := multiplicative ((+|-|'||') multiplicative)*
+    multiplicative := unary ((*|/|%) unary)*
+    unary       := (-|+) unary | primary
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import SqlSyntaxError
+from repro.sql import ast
+from repro.sql.lexer import tokenize
+from repro.sql.tokens import Token, TokenType
+
+_COMPARISON_OPS = {"=", "<>", "!=", "<", ">", "<=", ">="}
+_AGGREGATES = {"COUNT", "SUM", "AVG", "MIN", "MAX"}
+
+
+class Parser:
+    """Parses one or more SQL statements from a token stream."""
+
+    def __init__(self, text: str):
+        self._tokens = tokenize(text)
+        self._pos = 0
+        self._param_count = 0
+
+    # -- public entry points -------------------------------------------------
+
+    def parse_statement(self) -> ast.Statement:
+        """Parse exactly one statement (a trailing ``;`` is allowed)."""
+        statement = self._statement()
+        self._accept_punct(";")
+        self._expect(TokenType.EOF)
+        return statement
+
+    def parse_script(self) -> list[ast.Statement]:
+        """Parse a ``;``-separated sequence of statements."""
+        statements: list[ast.Statement] = []
+        while not self._check(TokenType.EOF):
+            statements.append(self._statement())
+            if not self._accept_punct(";"):
+                break
+        self._expect(TokenType.EOF)
+        return statements
+
+    # -- token helpers ---------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.type is not TokenType.EOF:
+            self._pos += 1
+        return token
+
+    def _check(self, token_type: TokenType, value=None) -> bool:
+        return self._peek().matches(token_type, value)
+
+    def _accept(self, token_type: TokenType, value=None) -> Optional[Token]:
+        if self._check(token_type, value):
+            return self._advance()
+        return None
+
+    def _accept_keyword(self, *keywords: str) -> Optional[str]:
+        token = self._peek()
+        if token.type is TokenType.KEYWORD and token.value in keywords:
+            self._advance()
+            return token.value
+        return None
+
+    def _accept_punct(self, punct: str) -> bool:
+        return self._accept(TokenType.PUNCT, punct) is not None
+
+    def _accept_operator(self, op: str) -> bool:
+        return self._accept(TokenType.OPERATOR, op) is not None
+
+    def _expect(self, token_type: TokenType, value=None) -> Token:
+        token = self._peek()
+        if not token.matches(token_type, value):
+            wanted = value if value is not None else token_type.name
+            raise SqlSyntaxError(
+                f"expected {wanted}, found {token.value!r}", token.line, token.column)
+        return self._advance()
+
+    def _expect_keyword(self, keyword: str) -> None:
+        self._expect(TokenType.KEYWORD, keyword)
+
+    def _expect_punct(self, punct: str) -> None:
+        self._expect(TokenType.PUNCT, punct)
+
+    def _expect_name(self) -> str:
+        """Accept an identifier, or a keyword used as a name (e.g. a column
+        called ``key``).  Aggregate keywords are allowed as plain names too."""
+        token = self._peek()
+        if token.type is TokenType.IDENTIFIER:
+            self._advance()
+            return token.value
+        if token.type is TokenType.KEYWORD and token.value in _AGGREGATES:
+            self._advance()
+            return token.value.lower()
+        raise SqlSyntaxError(
+            f"expected identifier, found {token.value!r}", token.line, token.column)
+
+    def _error(self, message: str) -> SqlSyntaxError:
+        token = self._peek()
+        return SqlSyntaxError(message, token.line, token.column)
+
+    # -- statements ------------------------------------------------------------
+
+    def _statement(self) -> ast.Statement:
+        token = self._peek()
+        if token.type is not TokenType.KEYWORD:
+            raise self._error(f"expected a statement, found {token.value!r}")
+        keyword = token.value
+        if keyword == "EXPLAIN":
+            self._advance()
+            return ast.Explain(self._statement())
+        if keyword == "SELECT":
+            return self._select_statement()
+        if keyword == "INSERT":
+            return self._insert()
+        if keyword == "UPDATE":
+            return self._update()
+        if keyword == "DELETE":
+            return self._delete()
+        if keyword == "CREATE":
+            return self._create()
+        if keyword == "ALTER":
+            return self._alter()
+        if keyword == "DROP":
+            return self._drop()
+        if keyword == "BEGIN":
+            self._advance()
+            self._accept_keyword("TRANSACTION", "WORK")
+            return ast.BeginTransaction()
+        if keyword == "COMMIT":
+            self._advance()
+            self._accept_keyword("TRANSACTION", "WORK")
+            return ast.Commit()
+        if keyword == "ROLLBACK":
+            self._advance()
+            self._accept_keyword("TRANSACTION", "WORK")
+            return ast.Rollback()
+        raise self._error(f"unsupported statement: {keyword}")
+
+    # -- SELECT -----------------------------------------------------------------
+
+    def _select_statement(self) -> ast.Statement:
+        left: ast.Statement = self._select_core()
+        while self._accept_keyword("UNION"):
+            is_all = self._accept_keyword("ALL") is not None
+            right = self._select_core()
+            left = ast.Union(left=left, right=right, all=is_all)
+        # Trailing ORDER BY / LIMIT binds to the whole union, or to the
+        # single SELECT when there is no union.
+        order_by = self._order_by_clause()
+        limit, offset = self._limit_clause()
+        if isinstance(left, ast.Union):
+            left.order_by = order_by
+            left.limit = limit
+        else:
+            assert isinstance(left, ast.Select)
+            if order_by:
+                left.order_by = order_by
+            if limit is not None:
+                left.limit = limit
+            if offset is not None:
+                left.offset = offset
+        return left
+
+    def _select_core(self) -> ast.Select:
+        self._expect_keyword("SELECT")
+        distinct = False
+        if self._accept_keyword("DISTINCT"):
+            distinct = True
+        else:
+            self._accept_keyword("ALL")
+        items = [self._select_item()]
+        while self._accept_punct(","):
+            items.append(self._select_item())
+        from_item = None
+        if self._accept_keyword("FROM"):
+            from_item = self._from_clause()
+        where = self._expression() if self._accept_keyword("WHERE") else None
+        group_by: list[ast.Expression] = []
+        if self._accept_keyword("GROUP"):
+            self._expect_keyword("BY")
+            group_by.append(self._expression())
+            while self._accept_punct(","):
+                group_by.append(self._expression())
+        having = self._expression() if self._accept_keyword("HAVING") else None
+        return ast.Select(
+            items=items, from_item=from_item, where=where,
+            group_by=group_by, having=having, distinct=distinct)
+
+    def _select_item(self) -> ast.SelectItem:
+        if self._check(TokenType.OPERATOR, "*"):
+            self._advance()
+            return ast.SelectItem(ast.Star())
+        # table.* form
+        if (self._peek().type is TokenType.IDENTIFIER
+                and self._peek(1).matches(TokenType.PUNCT, ".")
+                and self._peek(2).matches(TokenType.OPERATOR, "*")):
+            table = self._advance().value
+            self._advance()  # .
+            self._advance()  # *
+            return ast.SelectItem(ast.Star(table=table))
+        expression = self._expression()
+        alias = None
+        if self._accept_keyword("AS"):
+            alias = self._expect_name()
+        elif self._peek().type is TokenType.IDENTIFIER:
+            alias = self._advance().value
+        return ast.SelectItem(expression, alias)
+
+    def _order_by_clause(self) -> list[ast.OrderItem]:
+        if not self._accept_keyword("ORDER"):
+            return []
+        self._expect_keyword("BY")
+        items = [self._order_item()]
+        while self._accept_punct(","):
+            items.append(self._order_item())
+        return items
+
+    def _order_item(self) -> ast.OrderItem:
+        expression = self._expression()
+        ascending = True
+        if self._accept_keyword("DESC"):
+            ascending = False
+        else:
+            self._accept_keyword("ASC")
+        return ast.OrderItem(expression, ascending)
+
+    def _limit_clause(self) -> tuple[Optional[ast.Expression], Optional[ast.Expression]]:
+        limit = offset = None
+        if self._accept_keyword("LIMIT"):
+            limit = self._expression()
+            if self._accept_keyword("OFFSET"):
+                offset = self._expression()
+        return limit, offset
+
+    # -- FROM -----------------------------------------------------------------
+
+    def _from_clause(self) -> ast.FromItem:
+        item = self._join_chain()
+        while self._accept_punct(","):
+            right = self._join_chain()
+            item = ast.Join(kind="CROSS", left=item, right=right)
+        return item
+
+    def _join_chain(self) -> ast.FromItem:
+        left = self._from_primary()
+        while True:
+            kind = self._join_kind()
+            if kind is None:
+                return left
+            right = self._from_primary()
+            condition = None
+            using = None
+            if kind != "CROSS":
+                if self._accept_keyword("ON"):
+                    condition = self._expression()
+                elif self._accept_keyword("USING"):
+                    self._expect_punct("(")
+                    using = [self._expect_name()]
+                    while self._accept_punct(","):
+                        using.append(self._expect_name())
+                    self._expect_punct(")")
+                else:
+                    raise self._error(f"{kind} JOIN requires ON or USING")
+            left = ast.Join(kind=kind, left=left, right=right,
+                            condition=condition, using=using)
+
+    def _join_kind(self) -> Optional[str]:
+        if self._accept_keyword("CROSS"):
+            self._expect_keyword("JOIN")
+            return "CROSS"
+        if self._accept_keyword("INNER"):
+            self._expect_keyword("JOIN")
+            return "INNER"
+        if self._accept_keyword("LEFT"):
+            self._accept_keyword("OUTER")
+            self._expect_keyword("JOIN")
+            return "LEFT"
+        if self._accept_keyword("RIGHT"):
+            self._accept_keyword("OUTER")
+            self._expect_keyword("JOIN")
+            return "RIGHT"
+        if self._accept_keyword("JOIN"):
+            return "INNER"
+        return None
+
+    def _from_primary(self) -> ast.FromItem:
+        if self._accept_punct("("):
+            if self._check(TokenType.KEYWORD, "SELECT"):
+                subquery = self._select_core()
+                self._expect_punct(")")
+                self._accept_keyword("AS")
+                alias = self._expect_name()
+                return ast.SubqueryRef(subquery, alias)
+            item = self._from_clause()
+            self._expect_punct(")")
+            return item
+        name = self._expect_name()
+        alias = None
+        if self._accept_keyword("AS"):
+            alias = self._expect_name()
+        elif self._peek().type is TokenType.IDENTIFIER:
+            alias = self._advance().value
+        return ast.TableRef(name, alias)
+
+    # -- DML -------------------------------------------------------------------
+
+    def _insert(self) -> ast.Insert:
+        self._expect_keyword("INSERT")
+        self._expect_keyword("INTO")
+        table = self._expect_name()
+        columns: Optional[list[str]] = None
+        if self._accept_punct("("):
+            columns = [self._expect_name()]
+            while self._accept_punct(","):
+                columns.append(self._expect_name())
+            self._expect_punct(")")
+        if self._accept_keyword("VALUES"):
+            rows = [self._value_row()]
+            while self._accept_punct(","):
+                rows.append(self._value_row())
+            return ast.Insert(table=table, columns=columns, rows=rows)
+        if self._check(TokenType.KEYWORD, "SELECT"):
+            select = self._select_statement()
+            return ast.Insert(table=table, columns=columns, select=select)
+        raise self._error("expected VALUES or SELECT in INSERT")
+
+    def _value_row(self) -> list[ast.Expression]:
+        self._expect_punct("(")
+        row = [self._expression()]
+        while self._accept_punct(","):
+            row.append(self._expression())
+        self._expect_punct(")")
+        return row
+
+    def _update(self) -> ast.Update:
+        self._expect_keyword("UPDATE")
+        table = self._expect_name()
+        self._expect_keyword("SET")
+        assignments = [self._assignment()]
+        while self._accept_punct(","):
+            assignments.append(self._assignment())
+        where = self._expression() if self._accept_keyword("WHERE") else None
+        return ast.Update(table=table, assignments=assignments, where=where)
+
+    def _assignment(self) -> ast.Assignment:
+        column = self._expect_name()
+        self._expect(TokenType.OPERATOR, "=")
+        return ast.Assignment(column, self._expression())
+
+    def _delete(self) -> ast.Delete:
+        self._expect_keyword("DELETE")
+        self._expect_keyword("FROM")
+        table = self._expect_name()
+        where = self._expression() if self._accept_keyword("WHERE") else None
+        return ast.Delete(table=table, where=where)
+
+    # -- DDL -------------------------------------------------------------------
+
+    def _create(self) -> ast.Statement:
+        self._expect_keyword("CREATE")
+        if self._accept_keyword("TABLE"):
+            return self._create_table()
+        if self._accept_keyword("VIEW"):
+            name = self._expect_name()
+            self._expect_keyword("AS")
+            select = self._select_statement()
+            return ast.CreateView(name=name, select=select)
+        unique = self._accept_keyword("UNIQUE") is not None
+        if self._accept_keyword("INDEX"):
+            return self._create_index(unique)
+        raise self._error(
+            "expected TABLE, VIEW, or [UNIQUE] INDEX after CREATE")
+
+    def _alter(self) -> ast.Statement:
+        self._expect_keyword("ALTER")
+        self._expect_keyword("TABLE")
+        table = self._expect_name()
+        self._expect_keyword("ADD")
+        self._accept_keyword("COLUMN")
+        column = self._column_def()
+        return ast.AlterTableAddColumn(table=table, column=column)
+
+    def _create_table(self) -> ast.CreateTable:
+        if_not_exists = False
+        if self._accept_keyword("IF"):
+            self._expect_keyword("NOT")
+            self._expect_keyword("EXISTS")
+            if_not_exists = True
+        name = self._expect_name()
+        self._expect_punct("(")
+        columns: list[ast.ColumnDef] = []
+        table_pk: list[str] = []
+        while True:
+            if self._accept_keyword("PRIMARY"):
+                self._expect_keyword("KEY")
+                self._expect_punct("(")
+                table_pk.append(self._expect_name())
+                while self._accept_punct(","):
+                    table_pk.append(self._expect_name())
+                self._expect_punct(")")
+            else:
+                columns.append(self._column_def())
+            if not self._accept_punct(","):
+                break
+        self._expect_punct(")")
+        return ast.CreateTable(name=name, columns=columns,
+                               if_not_exists=if_not_exists, primary_key=table_pk)
+
+    def _column_def(self) -> ast.ColumnDef:
+        name = self._expect_name()
+        type_name = self._expect_name().upper()
+        # optional length/precision: VARCHAR(40), DECIMAL(8, 2)
+        if self._accept_punct("("):
+            self._expect(TokenType.INTEGER)
+            if self._accept_punct(","):
+                self._expect(TokenType.INTEGER)
+            self._expect_punct(")")
+        column = ast.ColumnDef(name=name, type_name=type_name)
+        while True:
+            if self._accept_keyword("PRIMARY"):
+                self._expect_keyword("KEY")
+                column.primary_key = True
+            elif self._accept_keyword("NOT"):
+                self._expect_keyword("NULL")
+                column.not_null = True
+            elif self._accept_keyword("UNIQUE"):
+                column.unique = True
+            elif self._accept_keyword("NULL"):
+                pass  # explicit nullable, the default
+            elif self._accept_keyword("DEFAULT"):
+                column.default = self._primary()
+            else:
+                break
+        return column
+
+    def _create_index(self, unique: bool) -> ast.CreateIndex:
+        name = self._expect_name()
+        self._expect_keyword("ON")
+        table = self._expect_name()
+        self._expect_punct("(")
+        columns = [self._expect_name()]
+        while self._accept_punct(","):
+            columns.append(self._expect_name())
+        self._expect_punct(")")
+        return ast.CreateIndex(name=name, table=table, columns=columns, unique=unique)
+
+    def _drop(self) -> ast.Statement:
+        self._expect_keyword("DROP")
+        if self._accept_keyword("TABLE"):
+            if_exists = False
+            if self._accept_keyword("IF"):
+                self._expect_keyword("EXISTS")
+                if_exists = True
+            return ast.DropTable(self._expect_name(), if_exists)
+        if self._accept_keyword("VIEW"):
+            if_exists = False
+            if self._accept_keyword("IF"):
+                self._expect_keyword("EXISTS")
+                if_exists = True
+            return ast.DropView(self._expect_name(), if_exists)
+        if self._accept_keyword("INDEX"):
+            return ast.DropIndex(self._expect_name())
+        raise self._error("expected TABLE, VIEW, or INDEX after DROP")
+
+    # -- expressions -------------------------------------------------------------
+
+    def _expression(self) -> ast.Expression:
+        return self._or_expr()
+
+    def _or_expr(self) -> ast.Expression:
+        left = self._and_expr()
+        while self._accept_keyword("OR"):
+            left = ast.Binary("OR", left, self._and_expr())
+        return left
+
+    def _and_expr(self) -> ast.Expression:
+        left = self._not_expr()
+        while self._accept_keyword("AND"):
+            left = ast.Binary("AND", left, self._not_expr())
+        return left
+
+    def _not_expr(self) -> ast.Expression:
+        if self._accept_keyword("NOT"):
+            return ast.Unary("NOT", self._not_expr())
+        return self._predicate()
+
+    def _predicate(self) -> ast.Expression:
+        left = self._additive()
+        token = self._peek()
+        if token.type is TokenType.OPERATOR and token.value in _COMPARISON_OPS:
+            op = self._advance().value
+            if op == "!=":
+                op = "<>"
+            return ast.Binary(op, left, self._additive())
+        if self._accept_keyword("IS"):
+            negated = self._accept_keyword("NOT") is not None
+            self._expect_keyword("NULL")
+            return ast.IsNull(left, negated)
+        negated = self._accept_keyword("NOT") is not None
+        if self._accept_keyword("IN"):
+            return self._in_tail(left, negated)
+        if self._accept_keyword("LIKE"):
+            return ast.Like(left, self._additive(), negated)
+        if self._accept_keyword("BETWEEN"):
+            low = self._additive()
+            self._expect_keyword("AND")
+            high = self._additive()
+            return ast.Between(left, low, high, negated)
+        if negated:
+            raise self._error("expected IN, LIKE, or BETWEEN after NOT")
+        return left
+
+    def _in_tail(self, left: ast.Expression, negated: bool) -> ast.Expression:
+        self._expect_punct("(")
+        if self._check(TokenType.KEYWORD, "SELECT"):
+            subquery = self._select_core()
+            self._expect_punct(")")
+            return ast.InSubquery(left, subquery, negated)
+        items = [self._expression()]
+        while self._accept_punct(","):
+            items.append(self._expression())
+        self._expect_punct(")")
+        return ast.InList(left, items, negated)
+
+    def _additive(self) -> ast.Expression:
+        left = self._multiplicative()
+        while True:
+            token = self._peek()
+            if token.type is TokenType.OPERATOR and token.value in ("+", "-", "||"):
+                op = self._advance().value
+                left = ast.Binary(op, left, self._multiplicative())
+            else:
+                return left
+
+    def _multiplicative(self) -> ast.Expression:
+        left = self._unary()
+        while True:
+            token = self._peek()
+            if token.type is TokenType.OPERATOR and token.value in ("*", "/", "%"):
+                op = self._advance().value
+                left = ast.Binary(op, left, self._unary())
+            else:
+                return left
+
+    def _unary(self) -> ast.Expression:
+        if self._accept_operator("-"):
+            return ast.Unary("-", self._unary())
+        if self._accept_operator("+"):
+            return ast.Unary("+", self._unary())
+        return self._primary()
+
+    def _primary(self) -> ast.Expression:
+        token = self._peek()
+        if token.type is TokenType.INTEGER or token.type is TokenType.REAL:
+            self._advance()
+            return ast.Literal(token.value)
+        if token.type is TokenType.STRING:
+            self._advance()
+            return ast.Literal(token.value)
+        if token.type is TokenType.PARAM:
+            self._advance()
+            param = ast.Param(self._param_count)
+            self._param_count += 1
+            return param
+        if token.type is TokenType.KEYWORD:
+            return self._keyword_primary(token)
+        if token.type is TokenType.IDENTIFIER:
+            return self._identifier_primary()
+        if self._accept_punct("("):
+            if self._check(TokenType.KEYWORD, "SELECT"):
+                subquery = self._select_core()
+                self._expect_punct(")")
+                return ast.ScalarSubquery(subquery)
+            expression = self._expression()
+            self._expect_punct(")")
+            return expression
+        raise self._error(f"unexpected token {token.value!r} in expression")
+
+    def _keyword_primary(self, token: Token) -> ast.Expression:
+        keyword = token.value
+        if keyword == "NULL":
+            self._advance()
+            return ast.Literal(None)
+        if keyword == "TRUE":
+            self._advance()
+            return ast.Literal(True)
+        if keyword == "FALSE":
+            self._advance()
+            return ast.Literal(False)
+        if keyword in _AGGREGATES:
+            self._advance()
+            return self._call_tail(keyword)
+        if keyword == "CASE":
+            return self._case()
+        if keyword == "EXISTS":
+            self._advance()
+            self._expect_punct("(")
+            subquery = self._select_core()
+            self._expect_punct(")")
+            return ast.Exists(subquery)
+        if keyword == "CAST":
+            self._advance()
+            self._expect_punct("(")
+            operand = self._expression()
+            self._expect_keyword("AS")
+            type_name = self._expect_name().upper()
+            if self._accept_punct("("):
+                self._expect(TokenType.INTEGER)
+                if self._accept_punct(","):
+                    self._expect(TokenType.INTEGER)
+                self._expect_punct(")")
+            self._expect_punct(")")
+            return ast.Cast(operand, type_name)
+        raise self._error(f"unexpected keyword {keyword!r} in expression")
+
+    def _identifier_primary(self) -> ast.Expression:
+        name = self._advance().value
+        if self._check(TokenType.PUNCT, "("):
+            return self._call_tail(name)
+        if self._accept_punct("."):
+            column = self._expect_name()
+            return ast.ColumnRef(name=column, table=name)
+        return ast.ColumnRef(name=name)
+
+    def _call_tail(self, name: str) -> ast.FunctionCall:
+        self._expect_punct("(")
+        distinct = self._accept_keyword("DISTINCT") is not None
+        args: list[ast.Expression] = []
+        if self._check(TokenType.OPERATOR, "*"):
+            self._advance()
+            args.append(ast.Star())
+        elif not self._check(TokenType.PUNCT, ")"):
+            args.append(self._expression())
+            while self._accept_punct(","):
+                args.append(self._expression())
+        self._expect_punct(")")
+        return ast.FunctionCall(name=name.upper(), args=args, distinct=distinct)
+
+    def _case(self) -> ast.Case:
+        self._expect_keyword("CASE")
+        operand = None
+        if not self._check(TokenType.KEYWORD, "WHEN"):
+            operand = self._expression()
+        whens: list[ast.CaseWhen] = []
+        while self._accept_keyword("WHEN"):
+            condition = self._expression()
+            self._expect_keyword("THEN")
+            whens.append(ast.CaseWhen(condition, self._expression()))
+        if not whens:
+            raise self._error("CASE requires at least one WHEN arm")
+        default = self._expression() if self._accept_keyword("ELSE") else None
+        self._expect_keyword("END")
+        return ast.Case(operand=operand, whens=whens, default=default)
+
+
+def parse(text: str) -> ast.Statement:
+    """Parse a single SQL statement."""
+    return Parser(text).parse_statement()
+
+
+def parse_script(text: str) -> list[ast.Statement]:
+    """Parse a ``;``-separated list of SQL statements."""
+    return Parser(text).parse_script()

@@ -1,0 +1,340 @@
+"""Access-path planning for the relational engine.
+
+The planner turns a FROM clause plus WHERE predicate into a tree of row
+sources.  It performs two classic optimizations:
+
+* **index lookup** — an equality conjunct ``col = <expr>`` on a base
+  table with a matching hash index becomes an :class:`IndexLookup`
+  instead of a full scan (the remaining conjuncts stay as a residual
+  filter);
+* **hash join** — an INNER or LEFT join whose condition is a pure
+  conjunction of cross-side equalities becomes a :class:`HashJoin`
+  instead of a nested loop.
+
+Everything else — projection, grouping, ordering — is handled by the
+executor directly from the AST; the planner's job ends at "which rows,
+from where".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import SqlError
+from repro.sql import ast
+
+
+class RowSource:
+    """Base class for planned row sources."""
+
+
+@dataclass
+class TableScan(RowSource):
+    """Full scan of a base table."""
+
+    table: str
+    binding: str
+
+
+@dataclass
+class IndexLookup(RowSource):
+    """Equality probe into a hash index of a base table."""
+
+    table: str
+    binding: str
+    columns: list[str]
+    keys: list[ast.Expression]
+
+
+@dataclass
+class DerivedTable(RowSource):
+    """A subquery in FROM, materialized under an alias."""
+
+    select: ast.Select
+    binding: str
+
+
+@dataclass
+class NestedLoopJoin(RowSource):
+    """General join; *kind* in INNER/LEFT/RIGHT/CROSS."""
+
+    kind: str
+    left: RowSource
+    right: RowSource
+    condition: Optional[ast.Expression] = None
+    using: Optional[list[str]] = None
+
+
+@dataclass
+class HashJoin(RowSource):
+    """Equi-join executed by building a hash table on the right side."""
+
+    kind: str  # INNER or LEFT
+    left: RowSource
+    right: RowSource
+    left_keys: list[ast.Expression] = field(default_factory=list)
+    right_keys: list[ast.Expression] = field(default_factory=list)
+
+
+@dataclass
+class FilteredSource(RowSource):
+    """A row source with a residual predicate applied on top."""
+
+    child: RowSource
+    predicate: ast.Expression
+
+
+@dataclass
+class AccessPlan:
+    """The planner's output: a row-source tree plus the predicate part
+    it could not push into an access path."""
+
+    source: Optional[RowSource]
+    residual_where: Optional[ast.Expression]
+    used_index: bool = False
+
+
+def split_conjuncts(expression: Optional[ast.Expression]) -> list[ast.Expression]:
+    """Flatten a predicate into its top-level AND-ed conjuncts."""
+    if expression is None:
+        return []
+    if isinstance(expression, ast.Binary) and expression.op == "AND":
+        return split_conjuncts(expression.left) + split_conjuncts(expression.right)
+    return [expression]
+
+
+def join_conjuncts(conjuncts: list[ast.Expression]) -> Optional[ast.Expression]:
+    """Rebuild a predicate from conjuncts (None when empty)."""
+    if not conjuncts:
+        return None
+    result = conjuncts[0]
+    for conjunct in conjuncts[1:]:
+        result = ast.Binary("AND", result, conjunct)
+    return result
+
+
+def _column_sides(expression: ast.Expression) -> set[Optional[str]]:
+    """Set of table qualifiers referenced by *expression* (None = bare)."""
+    tables: set[Optional[str]] = set()
+
+    def walk(node) -> None:
+        if isinstance(node, ast.ColumnRef):
+            tables.add(node.table)
+        elif isinstance(node, ast.Unary):
+            walk(node.operand)
+        elif isinstance(node, ast.Binary):
+            walk(node.left)
+            walk(node.right)
+        elif isinstance(node, ast.FunctionCall):
+            for arg in node.args:
+                walk(arg)
+        elif isinstance(node, (ast.IsNull, ast.Like, ast.Between, ast.InList)):
+            walk(node.operand)
+
+    walk(expression)
+    return tables
+
+
+def _references_only(expression: ast.Expression, bindings: set[str]) -> bool:
+    """True when every column in *expression* resolves inside *bindings*
+    and no subquery is involved (safe to evaluate early)."""
+    ok = True
+
+    def walk(node) -> None:
+        nonlocal ok
+        if not ok or node is None:
+            return
+        if isinstance(node, (ast.ScalarSubquery, ast.InSubquery, ast.Exists)):
+            ok = False
+        elif isinstance(node, ast.ColumnRef):
+            if node.table is not None and node.table.lower() not in bindings:
+                ok = False
+        elif isinstance(node, ast.Unary):
+            walk(node.operand)
+        elif isinstance(node, ast.Binary):
+            walk(node.left)
+            walk(node.right)
+        elif isinstance(node, ast.FunctionCall):
+            for arg in node.args:
+                walk(arg)
+        elif isinstance(node, ast.IsNull):
+            walk(node.operand)
+        elif isinstance(node, ast.InList):
+            walk(node.operand)
+            for item in node.items:
+                walk(item)
+        elif isinstance(node, ast.Between):
+            walk(node.operand)
+            walk(node.low)
+            walk(node.high)
+        elif isinstance(node, ast.Like):
+            walk(node.operand)
+            walk(node.pattern)
+        elif isinstance(node, ast.Case):
+            walk(node.operand)
+            for when in node.whens:
+                walk(when.condition)
+                walk(when.result)
+            walk(node.default)
+
+    walk(expression)
+    return ok
+
+
+def _is_constantish(expression: ast.Expression) -> bool:
+    """True for expressions the executor may evaluate before scanning:
+    literals, params, and arithmetic over them."""
+    if isinstance(expression, (ast.Literal, ast.Param)):
+        return True
+    if isinstance(expression, ast.Unary):
+        return _is_constantish(expression.operand)
+    if isinstance(expression, ast.Binary):
+        return _is_constantish(expression.left) and _is_constantish(expression.right)
+    return False
+
+
+class Planner:
+    """Plans access paths against a storage lookup interface.
+
+    *storage* must expose ``table_for(name)`` returning an object with a
+    ``schema`` and ``index_on(columns)`` (see :class:`repro.sql.storage.Table`),
+    or raise; it is typically the engine itself.
+    """
+
+    def __init__(self, storage):
+        self._storage = storage
+
+    def plan(self, select: ast.Select) -> AccessPlan:
+        """Plan the FROM/WHERE portion of one SELECT block."""
+        if select.from_item is None:
+            return AccessPlan(source=None, residual_where=select.where)
+        source = self._plan_from(select.from_item)
+        conjuncts = split_conjuncts(select.where)
+        source, conjuncts, used_index = self._try_index_access(source, conjuncts)
+        return AccessPlan(source=source,
+                          residual_where=join_conjuncts(conjuncts),
+                          used_index=used_index)
+
+    # -- FROM tree -------------------------------------------------------------
+
+    def _plan_from(self, item: ast.FromItem) -> RowSource:
+        if isinstance(item, ast.TableRef):
+            view_select = getattr(self._storage, "view_select", None)
+            if view_select is not None:
+                select = view_select(item.name)
+                if select is not None:
+                    return DerivedTable(select=select, binding=item.binding)
+            return TableScan(table=item.name, binding=item.binding)
+        if isinstance(item, ast.SubqueryRef):
+            return DerivedTable(select=item.subquery, binding=item.alias)
+        if isinstance(item, ast.Join):
+            left = self._plan_from(item.left)
+            right = self._plan_from(item.right)
+            return self._plan_join(item, left, right)
+        raise SqlError(f"unsupported FROM item: {type(item).__name__}")
+
+    def _plan_join(self, join: ast.Join, left: RowSource,
+                   right: RowSource) -> RowSource:
+        if join.using is not None:
+            # USING is rewritten by the executor into an ON condition once
+            # headers are known; keep it as a nested loop join here.
+            return NestedLoopJoin(kind=join.kind, left=left, right=right,
+                                  using=join.using)
+        if join.kind in ("INNER", "LEFT") and join.condition is not None:
+            keys = self._equi_keys(join, left, right)
+            if keys is not None:
+                left_keys, right_keys = keys
+                return HashJoin(kind=join.kind, left=left, right=right,
+                                left_keys=left_keys, right_keys=right_keys)
+        return NestedLoopJoin(kind=join.kind, left=left, right=right,
+                              condition=join.condition)
+
+    def _equi_keys(self, join: ast.Join, left: RowSource, right: RowSource):
+        """If the join condition is a conjunction of ``l.col = r.col``
+        equalities with one side per operand, return (left_keys, right_keys)."""
+        left_bindings = _bindings_of(left)
+        right_bindings = _bindings_of(right)
+        left_keys: list[ast.Expression] = []
+        right_keys: list[ast.Expression] = []
+        for conjunct in split_conjuncts(join.condition):
+            if not (isinstance(conjunct, ast.Binary) and conjunct.op == "="):
+                return None
+            a, b = conjunct.left, conjunct.right
+            if _references_only(a, left_bindings) and _references_only(b, right_bindings) \
+                    and _sided(a, left_bindings) and _sided(b, right_bindings):
+                left_keys.append(a)
+                right_keys.append(b)
+            elif _references_only(b, left_bindings) and _references_only(a, right_bindings) \
+                    and _sided(b, left_bindings) and _sided(a, right_bindings):
+                left_keys.append(b)
+                right_keys.append(a)
+            else:
+                return None
+        if not left_keys:
+            return None
+        return left_keys, right_keys
+
+    # -- index selection -----------------------------------------------------
+
+    def _try_index_access(self, source: RowSource,
+                          conjuncts: list[ast.Expression]
+                          ) -> tuple[RowSource, list[ast.Expression], bool]:
+        """Replace a bare TableScan with an IndexLookup when a conjunct
+        ``binding.col = constant`` matches an existing index."""
+        if not isinstance(source, TableScan):
+            return source, conjuncts, False
+        try:
+            table = self._storage.table_for(source.table)
+        except Exception:
+            return source, conjuncts, False
+        for position, conjunct in enumerate(conjuncts):
+            match = self._index_match(source, table, conjunct)
+            if match is not None:
+                columns, key = match
+                remaining = conjuncts[:position] + conjuncts[position + 1:]
+                lookup = IndexLookup(table=source.table, binding=source.binding,
+                                     columns=columns, keys=[key])
+                return lookup, remaining, True
+        return source, conjuncts, False
+
+    def _index_match(self, source: TableScan, table, conjunct: ast.Expression):
+        if not (isinstance(conjunct, ast.Binary) and conjunct.op == "="):
+            return None
+        for column_side, key_side in ((conjunct.left, conjunct.right),
+                                      (conjunct.right, conjunct.left)):
+            if not isinstance(column_side, ast.ColumnRef):
+                continue
+            if column_side.table is not None and \
+                    column_side.table.lower() != source.binding.lower():
+                continue
+            if table.schema.find_column(column_side.name) is None:
+                continue
+            if not _is_constantish(key_side):
+                continue
+            if table.index_on([column_side.name]) is not None:
+                return [column_side.name], key_side
+        return None
+
+
+def _bindings_of(source: RowSource) -> set[str]:
+    """All table bindings appearing in a planned subtree (lower-cased)."""
+    if isinstance(source, (TableScan, IndexLookup)):
+        return {source.binding.lower()}
+    if isinstance(source, DerivedTable):
+        return {source.binding.lower()}
+    if isinstance(source, (NestedLoopJoin, HashJoin)):
+        return _bindings_of(source.left) | _bindings_of(source.right)
+    if isinstance(source, FilteredSource):
+        return _bindings_of(source.child)
+    return set()
+
+
+def _sided(expression: ast.Expression, bindings: set[str]) -> bool:
+    """True when *expression* references at least one column and every
+    reference is qualified with a table from *bindings* — used to orient
+    equi-join keys.  Bare (unqualified) references disqualify the pair, so
+    ambiguous conditions fall back to the always-correct nested loop."""
+    tables = _column_sides(expression)
+    return bool(tables) and all(t is not None and t.lower() in bindings
+                                for t in tables)

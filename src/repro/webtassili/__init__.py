@@ -1,0 +1,14 @@
+"""The WebTassili language: lexer, AST, and parser.
+
+WebTassili is the paper's special-purpose language for exploring the
+information space (finding coalitions, displaying classes/instances/
+documentation/access information), querying data through exported
+functions or native passthrough, and maintaining the space (coalition
+and service-link definition, advertisements, membership).
+"""
+
+from repro.webtassili import ast
+from repro.webtassili.lexer import Token, TokenType, tokenize
+from repro.webtassili.parser import Parser, parse
+
+__all__ = ["ast", "parse", "Parser", "tokenize", "Token", "TokenType"]

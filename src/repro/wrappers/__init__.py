@@ -1,0 +1,17 @@
+"""Information Source Interfaces (wrappers) over native databases."""
+
+from repro.wrappers.base import (CallableBinding, ExportedAttribute,
+                                 ExportedFunction, ExportedType,
+                                 InformationSourceInterface, OqlBinding,
+                                 SqlBinding)
+from repro.wrappers.objectstore import ObjectDbWrapper
+from repro.wrappers.relational import RelationalWrapper
+from repro.wrappers.remote import (ISI_INTERFACE, IsiServant, RemoteIsi,
+                                   serve_isi)
+
+__all__ = [
+    "InformationSourceInterface", "ExportedType", "ExportedAttribute",
+    "ExportedFunction", "SqlBinding", "OqlBinding", "CallableBinding",
+    "RelationalWrapper", "ObjectDbWrapper",
+    "IsiServant", "RemoteIsi", "serve_isi", "ISI_INTERFACE",
+]

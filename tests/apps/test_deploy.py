@@ -1,0 +1,88 @@
+"""Figure 2 fidelity: DBMS -> ORB product -> gateway bindings."""
+
+import pytest
+
+from repro.apps.healthcare import topology as topo
+
+
+@pytest.fixture()
+def deployments(healthcare):
+    return {record.source_name: record
+            for record in healthcare.system.deployment_map()}
+
+
+class TestFigure2Bindings:
+    def test_fourteen_deployments(self, deployments):
+        assert len(deployments) == 14
+
+    def test_oracle_behind_visibroker_via_jdbc(self, deployments):
+        """'Oracle databases are connected to VisiBroker' (§4)."""
+        for name in (topo.RBH, topo.MEDIBANK, topo.ATO, topo.MEDICARE):
+            record = deployments[name]
+            assert record.dbms == "Oracle"
+            assert record.orb_product == "VisiBroker for Java"
+            assert record.gateway == "jdbc"
+
+    def test_msql_and_db2_behind_orbixweb_via_jdbc(self, deployments):
+        """'mSQL and DB2 are connected to OrbixWeb' (§4)."""
+        for name in (topo.RMIT, topo.QLD_CANCER, topo.CENTRE_LINK, topo.SGF):
+            assert deployments[name].dbms == "mSQL"
+            assert deployments[name].orb_product == "OrbixWeb"
+            assert deployments[name].gateway == "jdbc"
+        for name in (topo.MBF, topo.QUT):
+            assert deployments[name].dbms.startswith("DB2")
+            assert deployments[name].orb_product == "OrbixWeb"
+
+    def test_objectstore_behind_orbix_via_cpp(self, deployments):
+        """'ObjectStore databases are connected to Orbix' through C++
+        method invocation (§4)."""
+        for name in (topo.AMP, topo.RBH_WORKERS, topo.PRINCE_CHARLES):
+            record = deployments[name]
+            assert record.dbms == "ObjectStore"
+            assert record.orb_product == "Orbix"
+            assert record.gateway == "c++"
+
+    def test_ontos_behind_orbixweb_via_jni(self, deployments):
+        """'The Ontos database is connected to OrbixWeb' through JNI (§4)."""
+        record = deployments[topo.AMBULANCE]
+        assert record.dbms == "Ontos"
+        assert record.orb_product == "OrbixWeb"
+        assert record.gateway == "jni"
+
+    def test_five_dbms_products(self, deployments):
+        assert {record.dbms for record in deployments.values()} == \
+            {"Oracle", "mSQL", "DB2 Universal Database", "ObjectStore",
+             "Ontos"}
+
+    def test_three_orb_products(self, deployments):
+        assert {record.orb_product for record in deployments.values()} == \
+            {"Orbix", "OrbixWeb", "VisiBroker for Java"}
+
+
+class TestCrossOrbDataAccess:
+    def test_every_source_reachable_over_iiop(self, healthcare):
+        """Each of the 14 wrappers answers through its CORBA object."""
+        for spec in topo.DATABASE_SPECS:
+            isi = healthcare.system.wrapper_client(spec.name)
+            assert isi.banner  # one GIOP round-trip each
+            assert isi.exported_types()
+
+    def test_relational_and_object_banners(self, healthcare):
+        assert healthcare.system.wrapper_client(topo.RBH).banner == \
+            "Oracle 8.0.5"
+        assert healthcare.system.wrapper_client(topo.AMP).banner == \
+            "ObjectStore 5.1"
+        assert healthcare.system.wrapper_client(topo.AMBULANCE).banner == \
+            "Ontos 3.1"
+
+    def test_native_languages(self, healthcare):
+        assert healthcare.system.wrapper_client(topo.MBF) \
+            .native_language == "SQL"
+        assert healthcare.system.wrapper_client(topo.AMBULANCE) \
+            .native_language == "OQL"
+
+    def test_binding_style_surfaced(self, healthcare):
+        amp = healthcare.system.local_wrapper(topo.AMP)
+        ambulance = healthcare.system.local_wrapper(topo.AMBULANCE)
+        assert amp.describe()["binding_style"] == "c++"
+        assert ambulance.describe()["binding_style"] == "jni"

@@ -1,0 +1,100 @@
+"""Figure 1 fidelity: 14 databases, 5 coalitions, 9 service links."""
+
+import pytest
+
+from repro.apps.healthcare import topology as topo
+from repro.core.service_link import EndpointKind
+
+
+class TestFigure1Counts:
+    def test_headline_numbers(self):
+        counts = topo.verify_figure1_counts()
+        assert counts["databases"] == 14
+        assert counts["coalitions"] == 5
+        assert counts["service_links"] == 9
+        assert counts["total_databases"] == 28  # §5: "28 databases"
+
+    def test_all_database_names_unique(self):
+        assert len(set(topo.ALL_DATABASES)) == 14
+
+    def test_paper_named_databases_present(self):
+        for name in ("State Government Funding", "Royal Brisbane Hospital",
+                     "RBH Workers Union", "Centre Link", "Medibank", "MBF",
+                     "RMIT Medical Research", "Queensland Cancer Fund",
+                     "Australian Taxation Office", "Medicare", "QUT Research",
+                     "Ambulance", "AMP", "Prince Charles Hospital"):
+            assert name in topo.ALL_DATABASES
+
+    def test_coalition_names(self):
+        names = {spec.name for spec in topo.COALITION_SPECS}
+        assert names == {"Research", "Medical", "Medical Insurance",
+                         "Superannuation", "Medical Workers Union"}
+
+    def test_rbh_in_two_coalitions(self):
+        memberships = [spec.name for spec in topo.COALITION_SPECS
+                       if topo.RBH in spec.members]
+        assert memberships == ["Research", "Medical"]
+
+    def test_every_member_is_a_known_database(self):
+        for spec in topo.COALITION_SPECS:
+            for member in spec.members:
+                assert member in topo.ALL_DATABASES
+
+    def test_link_labels_match_paper(self):
+        from repro.core.service_link import ServiceLink
+        labels = set()
+        for link in topo.LINK_SPECS:
+            labels.add(ServiceLink(
+                from_kind=EndpointKind.parse(link.from_kind),
+                from_name=link.from_name,
+                to_kind=EndpointKind.parse(link.to_kind),
+                to_name=link.to_name).label)
+        # the links the paper names explicitly
+        assert "Ambulance_to_Medical" in labels
+        assert "Medical_to_MedicalInsurance" in labels
+        assert "StateGovernmentFunding_to_Medicare" in labels
+        assert "CentreLink_to_Medical" in labels
+        assert len(labels) == 9
+
+    def test_link_kind_mix(self):
+        kinds = {"database": 0, "coalition": 0}
+        for link in topo.LINK_SPECS:
+            kinds[link.from_kind] += 1
+        # Figure 1 has both database- and coalition-anchored links.
+        assert kinds["database"] >= 5
+        assert kinds["coalition"] >= 3
+
+    def test_database_specs_cover_all(self):
+        assert {spec.name for spec in topo.DATABASE_SPECS} == \
+            set(topo.ALL_DATABASES)
+
+
+class TestDeployedTopology:
+    def test_registry_summary_matches_figure1(self, healthcare):
+        summary = healthcare.system.registry.summary()
+        assert summary == {"sources": 14, "coalitions": 5,
+                           "service_links": 9, "memberships": 10}
+
+    def test_coalition_membership_deployed(self, healthcare):
+        registry = healthcare.system.registry
+        assert set(registry.coalition("Research").members) == \
+            {topo.QUT, topo.RMIT, topo.QLD_CANCER, topo.RBH}
+        assert set(registry.coalition("Medical Insurance").members) == \
+            {topo.MEDIBANK, topo.MBF}
+        assert registry.coalition("Superannuation").members == [topo.AMP]
+
+    def test_rbh_codatabase_knows_both_coalitions(self, healthcare):
+        codb = healthcare.system.registry.codatabase(topo.RBH)
+        assert codb.memberships == ["Research", "Medical"]
+
+    def test_standalone_databases_have_empty_codbs(self, healthcare):
+        """Medicare joins no coalition; it participates only via links."""
+        codb = healthcare.system.registry.codatabase(topo.MEDICARE)
+        assert codb.memberships == []
+        assert len(codb.service_links()) == 2  # SGF and ATO links to it
+
+    def test_rbh_codb_sees_medical_links(self, healthcare):
+        codb = healthcare.system.registry.codatabase(topo.RBH)
+        labels = {link.label for link in codb.service_links()}
+        assert "Medical_to_MedicalInsurance" in labels
+        assert "Ambulance_to_Medical" in labels

@@ -1,0 +1,111 @@
+"""Baseline tests: broadcast discovery and global-schema integration."""
+
+import pytest
+
+from repro.baselines import BroadcastDirectory, GlobalSchemaMultidatabase
+from repro.core.model import Ontology, SourceDescription
+from repro.errors import WebFinditError
+
+
+def description(name, info):
+    return SourceDescription(name=name, information_type=info)
+
+
+class TestBroadcast:
+    @pytest.fixture()
+    def directory(self):
+        directory = BroadcastDirectory()
+        directory.register(description("A", "cardiology"))
+        directory.register(description("B", "oncology"))
+        directory.register(description("C", "cardiology research"))
+        return directory
+
+    def test_every_query_contacts_all_sources(self, directory):
+        result = directory.discover("cardiology")
+        assert result.sources_contacted == 3
+        assert result.metadata_calls == 3
+
+    def test_matches_sorted_by_score(self, directory):
+        result = directory.discover("cardiology research")
+        assert result.matches[0].name == "C"
+        assert {m.name for m in result.matches} == {"A", "C"}
+
+    def test_miss_still_contacts_everyone(self, directory):
+        result = directory.discover("astrophysics")
+        assert not result.resolved
+        assert result.sources_contacted == 3
+
+    def test_contacts_accumulate(self, directory):
+        directory.discover("x")
+        directory.discover("y")
+        assert directory.total_contacts == 6
+
+    def test_cost_grows_linearly_with_size(self):
+        for n in (10, 100):
+            directory = BroadcastDirectory()
+            for index in range(n):
+                directory.register(description(f"s{index}", "topic"))
+            assert directory.discover("topic").sources_contacted == n
+
+    def test_ontology_applies(self):
+        ontology = Ontology()
+        ontology.add_synonyms("cardiology", ["heart"])
+        directory = BroadcastDirectory(ontology=ontology)
+        directory.register(description("A", "cardiology"))
+        assert directory.discover("heart").resolved
+
+
+class TestGlobalSchema:
+    def test_first_source_costs_nothing(self):
+        multidatabase = GlobalSchemaMultidatabase()
+        report = multidatabase.integrate_source(
+            description("A", "cardiology"), ["t1", "t2"])
+        assert report.comparisons == 0
+        assert report.items_added == 2
+
+    def test_integration_cost_grows_with_existing_schema(self):
+        multidatabase = GlobalSchemaMultidatabase()
+        costs = []
+        for index in range(5):
+            report = multidatabase.integrate_source(
+                description(f"s{index}", "topic"),
+                [f"s{index}_t{j}" for j in range(3)])
+            costs.append(report.comparisons)
+        assert costs == [0, 9, 18, 27, 36]  # linear per step = quadratic total
+
+    def test_conflicts_detected(self):
+        multidatabase = GlobalSchemaMultidatabase()
+        multidatabase.integrate_source(description("A", "x"), ["patients"])
+        report = multidatabase.integrate_source(
+            description("B", "y"), ["patients"])
+        assert report.conflicts_resolved == 1
+        assert multidatabase.total_conflicts == 1
+
+    def test_duplicate_source_rejected(self):
+        multidatabase = GlobalSchemaMultidatabase()
+        multidatabase.integrate_source(description("A", "x"), ["t"])
+        with pytest.raises(WebFinditError):
+            multidatabase.integrate_source(description("A", "x"), ["t"])
+
+    def test_query_is_single_lookup(self):
+        multidatabase = GlobalSchemaMultidatabase()
+        for index in range(20):
+            multidatabase.integrate_source(
+                description(f"s{index}", "cardiology" if index % 2
+                            else "oncology"), ["t"])
+        matches = multidatabase.discover("cardiology")
+        assert len(matches) == 10
+
+    def test_remove_source_sweeps_remainder(self):
+        multidatabase = GlobalSchemaMultidatabase()
+        multidatabase.integrate_source(description("A", "x"), ["t1"])
+        multidatabase.integrate_source(description("B", "y"), ["t2"])
+        before = multidatabase.total_comparisons
+        multidatabase.remove_source("A")
+        assert multidatabase.total_comparisons > before
+        assert multidatabase.source_count == 1
+        assert multidatabase.item_count == 1
+
+    def test_remove_unknown(self):
+        with pytest.raises(WebFinditError):
+            GlobalSchemaMultidatabase().remove_source("ghost")

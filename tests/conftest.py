@@ -1,0 +1,47 @@
+"""Shared fixtures.
+
+The healthcare deployment is expensive (14 engines + data + 28 CORBA
+activations), so it is built once per session; tests that mutate
+topology build their own systems.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.healthcare import build_healthcare_system
+from repro.sql.engine import Database
+
+
+@pytest.fixture(scope="session")
+def healthcare():
+    """The full Figure-1 deployment (read-only across tests)."""
+    return build_healthcare_system()
+
+
+@pytest.fixture()
+def people_db() -> Database:
+    """A small relational database used across SQL tests."""
+    db = Database("people")
+    db.execute("CREATE TABLE person (id INT PRIMARY KEY, "
+               "name VARCHAR(40) NOT NULL, age INT, city VARCHAR(30))")
+    db.executemany(
+        "INSERT INTO person VALUES (?, ?, ?, ?)",
+        [
+            [1, "Alice", 34, "Brisbane"],
+            [2, "Bob", 28, "Cairns"],
+            [3, "Carol", 45, "Brisbane"],
+            [4, "Dan", None, "Sydney"],
+            [5, "Eve", 28, None],
+        ])
+    db.execute("CREATE TABLE orders (order_id INT PRIMARY KEY, "
+               "person_id INT, amount REAL, placed DATE)")
+    db.executemany(
+        "INSERT INTO orders VALUES (?, ?, ?, ?)",
+        [
+            [10, 1, 120.5, "1998-01-10"],
+            [11, 1, 75.0, "1998-02-02"],
+            [12, 2, 12.25, "1998-02-11"],
+            [13, 3, 430.0, "1998-03-01"],
+        ])
+    return db

@@ -1,0 +1,135 @@
+"""Concurrent sessions against one federation.
+
+The paper's browser is multi-user (applets everywhere); the engines and
+ORB must tolerate parallel sessions.  These tests drive several browser
+threads at once and check both correctness and counter consistency.
+"""
+
+import threading
+
+from repro.apps.healthcare import topology as topo
+from repro.sql.engine import Database
+
+
+class TestConcurrentSessions:
+    def test_parallel_metadata_queries(self, healthcare):
+        errors: list[Exception] = []
+        results: list[str] = []
+
+        def explore():
+            try:
+                browser = healthcare.browser(topo.QUT)
+                outcome = browser.find("Medical Insurance")
+                results.append(outcome.data.best().name)
+            except Exception as exc:  # noqa: BLE001 - collected for assert
+                errors.append(exc)
+
+        threads = [threading.Thread(target=explore) for __ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert results == [topo.MEDICAL_INSURANCE] * 8
+
+    def test_parallel_data_queries(self, healthcare):
+        errors: list[Exception] = []
+        counts: list[int] = []
+
+        def fetch():
+            try:
+                browser = healthcare.browser(topo.QUT)
+                result = browser.fetch(
+                    topo.RBH, "SELECT COUNT(*) FROM MedicalStudent")
+                counts.append(result.data.scalar())
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=fetch) for __ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert counts == [12] * 8
+
+    def test_mixed_meta_and_data_load(self, healthcare):
+        errors: list[Exception] = []
+
+        def worker(index: int):
+            try:
+                browser = healthcare.browser(topo.QUT)
+                if index % 2:
+                    browser.instances("Research")
+                else:
+                    browser.invoke(topo.RBH, "ResearchProjects", "Funding",
+                                   "AIDS and drugs")
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(12)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+
+
+class TestEngineThreadSafety:
+    def test_concurrent_inserts_all_land(self):
+        db = Database("threads")
+        db.execute("CREATE TABLE t (id INT PRIMARY KEY, worker INT)")
+        errors: list[Exception] = []
+
+        def insert(worker: int):
+            try:
+                for index in range(50):
+                    db.execute("INSERT INTO t VALUES (?, ?)",
+                               [worker * 1000 + index, worker])
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=insert, args=(w,))
+                   for w in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert db.execute("SELECT COUNT(*) FROM t").scalar() == 200
+        per_worker = db.execute(
+            "SELECT worker, COUNT(*) FROM t GROUP BY worker ORDER BY 1")
+        assert per_worker.rows == [(0, 50), (1, 50), (2, 50), (3, 50)]
+
+    def test_concurrent_readers_during_writes(self):
+        db = Database("rw")
+        db.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+        stop = threading.Event()
+        errors: list[Exception] = []
+
+        def writer():
+            try:
+                for index in range(200):
+                    db.execute("INSERT INTO t VALUES (?)", [index])
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+            finally:
+                stop.set()
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    count = db.execute("SELECT COUNT(*) FROM t").scalar()
+                    assert 0 <= count <= 200
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer)] + \
+            [threading.Thread(target=reader) for __ in range(3)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert db.row_count("t") == 200

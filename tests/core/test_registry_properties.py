@@ -1,0 +1,107 @@
+"""Property-based tests: the locality rule survives arbitrary
+join/leave/link sequences."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import SourceDescription
+from repro.core.registry import Registry
+from repro.core.service_link import EndpointKind, ServiceLink
+from repro.errors import MembershipError, WebFinditError
+
+DATABASES = [f"db{i}" for i in range(5)]
+COALITIONS = [f"C{i}" for i in range(3)]
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("join"), st.sampled_from(DATABASES),
+                  st.sampled_from(COALITIONS)),
+        st.tuples(st.just("leave"), st.sampled_from(DATABASES),
+                  st.sampled_from(COALITIONS)),
+        st.tuples(st.just("link"), st.sampled_from(DATABASES),
+                  st.sampled_from(COALITIONS)),
+    ),
+    max_size=25)
+
+
+def apply_operations(ops):
+    registry = Registry()
+    for name in DATABASES:
+        registry.add_source(SourceDescription(name=name,
+                                              information_type="topic"))
+    for name in COALITIONS:
+        registry.create_coalition(name, f"topic {name}")
+    for op, database, coalition in ops:
+        try:
+            if op == "join":
+                registry.join(database, coalition)
+            elif op == "leave":
+                registry.leave(database, coalition)
+            else:
+                registry.add_service_link(ServiceLink(
+                    EndpointKind.DATABASE, database,
+                    EndpointKind.COALITION, coalition))
+        except (MembershipError, WebFinditError):
+            pass  # invalid transitions are rejected, state stays intact
+    return registry
+
+
+@given(operations)
+@settings(max_examples=50, deadline=None)
+def test_membership_agrees_everywhere(ops):
+    """After any operation sequence, the coalition's member list, each
+    member's recorded memberships, and each member's co-database
+    instances all agree."""
+    registry = apply_operations(ops)
+    for coalition_name in COALITIONS:
+        members = registry.coalition(coalition_name).members
+        for member in members:
+            codatabase = registry.codatabase(member)
+            assert coalition_name in codatabase.memberships
+            stored = {d.name for d in codatabase.instances_of(coalition_name)}
+            assert stored == set(members)
+    # and non-members know nothing about the coalition's membership
+    for database in DATABASES:
+        codatabase = registry.codatabase(database)
+        for coalition_name in codatabase.memberships:
+            assert registry.coalition(coalition_name).has_member(database)
+
+
+@given(operations)
+@settings(max_examples=50, deadline=None)
+def test_links_known_exactly_by_audience(ops):
+    registry = apply_operations(ops)
+    for link in registry.service_links():
+        audience = set(registry.coalition(link.to_name).members)
+        audience.add(link.from_name)
+        for database in DATABASES:
+            labels = {known.label for known in
+                      registry.codatabase(database).service_links()}
+            if database in audience:
+                assert link.label in labels
+            # (databases outside the audience may have learned the link
+            # before leaving the coalition; staleness is allowed, but
+            # audience members must always know it.)
+
+
+@given(operations)
+@settings(max_examples=40, deadline=None)
+def test_summary_is_consistent(ops):
+    registry = apply_operations(ops)
+    summary = registry.summary()
+    assert summary["sources"] == len(DATABASES)
+    assert summary["coalitions"] == len(COALITIONS)
+    assert summary["memberships"] == sum(
+        len(registry.coalition(c).members) for c in COALITIONS)
+
+
+@given(operations)
+@settings(max_examples=30, deadline=None)
+def test_topology_export_round_trips_after_any_sequence(ops):
+    from repro.core.snapshot import export_topology, import_topology
+    registry = apply_operations(ops)
+    restored = import_topology(export_topology(registry))
+    assert restored.summary() == registry.summary()
+    for coalition_name in COALITIONS:
+        assert restored.coalition(coalition_name).members == \
+            registry.coalition(coalition_name).members

@@ -1,0 +1,120 @@
+"""Failure injection: discovery survives vanished co-databases.
+
+"individual sites join and leave these clusters at their own
+discretion" (§1) — a source disappearing mid-resolution must not abort
+the query.
+"""
+
+import pytest
+
+from repro.core.discovery import CoDatabaseClient, DiscoveryEngine
+from repro.core.model import SourceDescription
+from repro.core.registry import Registry
+from repro.core.service_link import EndpointKind, ServiceLink
+from repro.errors import CommFailure, UnknownDatabase
+
+
+def build_world():
+    registry = Registry()
+    for name, info in [("QUT", "Medical Research"),
+                       ("RBH", "Research and Medical"),
+                       ("RMIT", "Medical Research"),
+                       ("Medibank", "Medical Insurance")]:
+        registry.add_source(SourceDescription(name=name,
+                                              information_type=info))
+    registry.create_coalition("Research", "Medical Research")
+    registry.create_coalition("Medical", "Medical")
+    registry.create_coalition("Insurance", "Medical Insurance")
+    registry.join("QUT", "Research")
+    registry.join("RBH", "Research")
+    registry.join("RMIT", "Research")
+    registry.join("RBH", "Medical")
+    registry.join("Medibank", "Insurance")
+    registry.add_service_link(ServiceLink(
+        EndpointKind.COALITION, "Medical", EndpointKind.COALITION,
+        "Insurance", information_type="Medical Insurance"))
+    return registry
+
+
+def engine_with_failures(registry, dead: set[str]):
+    def resolver(name: str) -> CoDatabaseClient:
+        if name in dead:
+            raise CommFailure(f"connection refused: {name}")
+        return CoDatabaseClient.for_local(registry.codatabase(name))
+
+    return DiscoveryEngine(resolver)
+
+
+class TestDiscoveryResilience:
+    def test_dead_neighbor_is_skipped(self):
+        registry = build_world()
+        engine = engine_with_failures(registry, dead={"RMIT"})
+        result = engine.discover("Medical Insurance", "QUT")
+        assert result.resolved
+        assert result.best().name == "Insurance"
+        assert result.unreachable == ["RMIT"]
+        assert any("unreachable" in line for line in result.trace)
+
+    def test_dead_link_contact_degrades_gracefully(self):
+        registry = build_world()
+        engine = engine_with_failures(registry, dead={"Medibank"})
+        result = engine.discover("Medical Insurance", "QUT")
+        # The link lead itself still resolves (RBH's co-database knows
+        # it); only deeper exploration through Medibank is lost.
+        assert result.resolved
+        assert "Medibank" in result.unreachable or result.best().score == 1.0
+
+    def test_dead_start_database_raises(self):
+        registry = build_world()
+        engine = engine_with_failures(registry, dead={"QUT"})
+        with pytest.raises(CommFailure):
+            engine.discover("anything", "QUT")
+
+    def test_all_neighbors_dead_still_answers_locally(self):
+        registry = build_world()
+        engine = engine_with_failures(registry,
+                                      dead={"RBH", "RMIT", "Medibank"})
+        result = engine.discover("Medical Research", "QUT")
+        assert result.resolved  # local coalition answers
+        assert result.best().name == "Research"
+
+    def test_unreachable_counted_not_contacted(self):
+        registry = build_world()
+        engine = engine_with_failures(registry, dead={"RMIT", "RBH"})
+        result = engine.discover("Medical Insurance", "QUT",
+                                 stop_at_first=False, max_hops=3)
+        assert set(result.unreachable) == {"RMIT", "RBH"}
+        # unreachable nodes add no metadata calls
+        assert result.codatabases_contacted >= 1
+
+
+class TestSystemLevelFailure:
+    def test_deactivated_codatabase_skipped(self, healthcare):
+        """Kill one co-database servant in the live deployment; the
+        §2.3 walkthrough still resolves through RBH."""
+        from repro.apps.healthcare import topology as topo
+        system = healthcare.system
+        # RMIT's co-database goes away (simulate the site leaving).
+        ior = system.naming.resolve(f"webfindit/codb/{topo.RMIT}")
+        victim_orb = next(orb for orb in system.orbs()
+                          if orb.endpoint == ior.primary.endpoint)
+        victim_orb.deactivate(ior)
+        try:
+            browser = healthcare.browser(topo.QUT)
+            result = browser.find("Medical Insurance")
+            assert result.data.resolved
+            assert topo.RMIT in result.data.unreachable
+        finally:
+            # Restore for other session-scoped tests.
+            from repro.core.codatabase import (CODATABASE_INTERFACE,
+                                               CoDatabaseServant)
+            codb = system.registry.codatabase(topo.RMIT)
+            new_ior = victim_orb.activate(
+                CoDatabaseServant(codb), CODATABASE_INTERFACE,
+                object_name=f"codb-{topo.RMIT}-revived")
+            system.naming.rebind(f"webfindit/codb/{topo.RMIT}", new_ior)
+            system._ior_cache.pop(f"codb/{topo.RMIT}", None)
+
+    def test_missing_wrapper_reported(self, healthcare):
+        with pytest.raises(UnknownDatabase):
+            healthcare.system.wrapper_client("Vanished Hospital")

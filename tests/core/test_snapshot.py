@@ -1,0 +1,108 @@
+"""Topology export/import round-trips."""
+
+import json
+
+import pytest
+
+from repro.core.model import SourceDescription
+from repro.core.registry import Registry
+from repro.core.service_link import EndpointKind, ServiceLink
+from repro.core.snapshot import (export_topology, import_topology,
+                                 load_topology, save_topology)
+from repro.errors import WebFinditError
+
+
+def build_registry():
+    registry = Registry()
+    for name, info in [("A", "cardiology"), ("B", "cardiology"),
+                       ("C", "insurance")]:
+        registry.add_source(SourceDescription(
+            name=name, information_type=info, location=f"{name}.net",
+            interface=[f"{name}Data"]))
+    registry.create_coalition("Cardio", "cardiology")
+    registry.create_coalition("Pediatric Cardio", "pediatric cardiology",
+                              parent="Cardio")
+    registry.create_coalition("Ins", "insurance")
+    registry.join("A", "Cardio")
+    registry.join("B", "Pediatric Cardio")
+    registry.join("C", "Ins")
+    registry.add_service_link(ServiceLink(
+        EndpointKind.COALITION, "Cardio", EndpointKind.COALITION, "Ins",
+        information_type="insurance"))
+    registry.attach_document("A", "html", "<p>About A</p>", "http://a")
+    return registry
+
+
+class TestRoundTrip:
+    def test_summary_preserved(self):
+        original = build_registry()
+        restored = import_topology(export_topology(original))
+        assert restored.summary() == original.summary()
+
+    def test_descriptions_preserved(self):
+        restored = import_topology(export_topology(build_registry()))
+        description = restored.source("A")
+        assert description.location == "A.net"
+        assert description.interface == ["AData"]
+
+    def test_hierarchy_preserved(self):
+        restored = import_topology(export_topology(build_registry()))
+        assert restored.coalition("Pediatric Cardio").parent == "Cardio"
+        # parent members see the specialization in their co-databases
+        assert restored.codatabase("A").subclasses_of("Cardio") == \
+            ["Pediatric Cardio"]
+
+    def test_links_and_contacts_preserved(self):
+        restored = import_topology(export_topology(build_registry()))
+        link = restored.service_links()[0]
+        assert link.label == "Cardio_to_Ins"
+        assert link.contact == "C"
+
+    def test_documents_preserved(self):
+        restored = import_topology(export_topology(build_registry()))
+        documents = restored.codatabase("A").documents_of("A")
+        assert documents == [{"format": "html", "content": "<p>About A</p>",
+                              "url": "http://a"}]
+
+    def test_codatabases_answer_after_restore(self):
+        restored = import_topology(export_topology(build_registry()))
+        matches = restored.codatabase("A").find_coalitions("cardiology")
+        assert matches and matches[0]["name"] == "Cardio"
+
+    def test_export_is_json_serializable(self):
+        payload = export_topology(build_registry())
+        json.dumps(payload)  # must not raise
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "topology.json"
+        save_topology(build_registry(), str(path))
+        restored = load_topology(str(path))
+        assert restored.summary() == build_registry().summary()
+
+    def test_parents_resolved_out_of_order(self):
+        payload = export_topology(build_registry())
+        payload["coalitions"].reverse()  # children before parents
+        restored = import_topology(payload)
+        assert restored.coalition("Pediatric Cardio").parent == "Cardio"
+
+
+class TestValidation:
+    def test_wrong_format_rejected(self):
+        with pytest.raises(WebFinditError):
+            import_topology({"format": "something-else"})
+
+    def test_dangling_parent_rejected(self):
+        payload = export_topology(build_registry())
+        for coalition in payload["coalitions"]:
+            if coalition["name"] == "Pediatric Cardio":
+                coalition["parent"] = "Ghost"
+        with pytest.raises(WebFinditError):
+            import_topology(payload)
+
+    def test_healthcare_world_round_trips(self, healthcare):
+        payload = export_topology(healthcare.system.registry)
+        restored = import_topology(payload)
+        assert restored.summary() == healthcare.system.registry.summary()
+        rbh = restored.codatabase("Royal Brisbane Hospital")
+        assert rbh.memberships == ["Research", "Medical"]
+        assert len(rbh.documents_of("Royal Brisbane Hospital")) == 2

@@ -1,0 +1,71 @@
+"""Coalition and service-link unit tests."""
+
+import pytest
+
+from repro.core.coalition import Coalition
+from repro.core.service_link import EndpointKind, ServiceLink
+from repro.errors import MembershipError, WebFinditError
+
+
+class TestCoalition:
+    def test_membership_cycle(self):
+        coalition = Coalition("Medical", "Medical")
+        coalition.add_member("RBH")
+        assert coalition.has_member("RBH")
+        coalition.remove_member("RBH")
+        assert not coalition.has_member("RBH")
+
+    def test_double_join_rejected(self):
+        coalition = Coalition("Medical", "Medical")
+        coalition.add_member("RBH")
+        with pytest.raises(MembershipError):
+            coalition.add_member("RBH")
+
+    def test_leave_non_member_rejected(self):
+        with pytest.raises(MembershipError):
+            Coalition("Medical", "Medical").remove_member("RBH")
+
+    def test_wire_roundtrip(self):
+        coalition = Coalition("Research", "Medical Research",
+                              parent="Science", doc="docs",
+                              members=["QUT", "RBH"])
+        assert Coalition.from_wire(coalition.to_wire()) == coalition
+
+
+class TestServiceLink:
+    def make(self, from_kind=EndpointKind.DATABASE, from_name="ATO",
+             to_kind=EndpointKind.COALITION, to_name="Medical"):
+        return ServiceLink(from_kind=from_kind, from_name=from_name,
+                           to_kind=to_kind, to_name=to_name,
+                           information_type="Taxation")
+
+    def test_kind_classification(self):
+        cc = self.make(EndpointKind.COALITION, "A", EndpointKind.COALITION, "B")
+        dd = self.make(EndpointKind.DATABASE, "A", EndpointKind.DATABASE, "B")
+        dc = self.make()
+        assert cc.kind == "coalition-coalition"
+        assert dd.kind == "database-database"
+        assert dc.kind == "coalition-database"
+
+    def test_label_matches_figure1_style(self):
+        link = ServiceLink(EndpointKind.DATABASE, "State Government Funding",
+                           EndpointKind.DATABASE, "Medicare")
+        assert link.label == "StateGovernmentFunding_to_Medicare"
+
+    def test_involves(self):
+        link = self.make()
+        assert link.involves(EndpointKind.DATABASE, "ATO")
+        assert link.involves(EndpointKind.COALITION, "Medical")
+        assert not link.involves(EndpointKind.DATABASE, "Medical")
+
+    def test_wire_roundtrip_preserves_contact(self):
+        link = ServiceLink(EndpointKind.COALITION, "Medical",
+                           EndpointKind.COALITION, "Medical Insurance",
+                           information_type="Medical Insurance",
+                           contact="Medibank")
+        assert ServiceLink.from_wire(link.to_wire()) == link
+
+    def test_endpoint_kind_parse(self):
+        assert EndpointKind.parse("COALITION") is EndpointKind.COALITION
+        with pytest.raises(WebFinditError):
+            EndpointKind.parse("cluster")

@@ -1,0 +1,155 @@
+"""ObjectDatabase lifecycle, extents and selection."""
+
+import pytest
+
+from repro.errors import ObjectNotFound, SchemaError
+from repro.oodb import Attribute, ObjectDatabase
+
+
+@pytest.fixture()
+def zoo():
+    db = ObjectDatabase("zoo")
+    db.define_class("Animal", [
+        Attribute("name", "string", required=True),
+        Attribute("weight", "real"),
+    ])
+    db.define_class("Bird", [Attribute("wingspan", "real")],
+                    bases=["Animal"])
+    db.define_class("Penguin", [], bases=["Bird"])
+    return db
+
+
+class TestLifecycle:
+    def test_create_and_get(self, zoo):
+        obj = zoo.create("Animal", name="Rex", weight=12.5)
+        assert zoo.get(obj.oid)["name"] == "Rex"
+
+    def test_unknown_attribute_rejected(self, zoo):
+        with pytest.raises(SchemaError):
+            zoo.create("Animal", name="x", legs=4)
+
+    def test_required_attribute_enforced(self, zoo):
+        with pytest.raises(SchemaError):
+            zoo.create("Animal", weight=3.0)
+
+    def test_missing_optional_fills_none(self, zoo):
+        obj = zoo.create("Animal", name="Slim")
+        assert obj["weight"] is None
+
+    def test_abstract_class_cannot_instantiate(self):
+        db = ObjectDatabase("a")
+        db.define_class("Base", abstract=True)
+        with pytest.raises(SchemaError):
+            db.create("Base")
+
+    def test_delete_removes_object(self, zoo):
+        obj = zoo.create("Animal", name="Gone")
+        zoo.delete(obj.oid)
+        with pytest.raises(ObjectNotFound):
+            zoo.get(obj.oid)
+        with pytest.raises(ObjectNotFound):
+            zoo.delete(obj.oid)
+
+    def test_len_counts_objects(self, zoo):
+        zoo.create("Animal", name="A")
+        zoo.create("Bird", name="B")
+        assert len(zoo) == 2
+
+    def test_set_revalidates(self, zoo):
+        obj = zoo.create("Animal", name="A")
+        obj.set("weight", 9.0)
+        assert obj["weight"] == 9.0
+        with pytest.raises(SchemaError):
+            obj.set("weight", "heavy")
+
+    def test_oids_unique_and_ordered(self, zoo):
+        a = zoo.create("Animal", name="A")
+        b = zoo.create("Animal", name="B")
+        assert a.oid != b.oid and a.oid < b.oid
+
+
+class TestExtents:
+    def test_extent_includes_subclasses_by_default(self, zoo):
+        zoo.create("Animal", name="A")
+        zoo.create("Bird", name="B", wingspan=1.0)
+        zoo.create("Penguin", name="P")
+        assert len(zoo.extent("Animal")) == 3
+        assert len(zoo.extent("Bird")) == 2
+
+    def test_extent_without_subclasses(self, zoo):
+        zoo.create("Animal", name="A")
+        zoo.create("Bird", name="B")
+        assert len(zoo.extent("Animal", include_subclasses=False)) == 1
+
+    def test_select_by_equality(self, zoo):
+        zoo.create("Animal", name="A", weight=5.0)
+        zoo.create("Animal", name="B", weight=5.0)
+        zoo.create("Animal", name="C", weight=9.0)
+        assert len(zoo.select("Animal", weight=5.0)) == 2
+
+    def test_select_with_predicate(self, zoo):
+        for index in range(5):
+            zoo.create("Animal", name=f"a{index}", weight=float(index))
+        heavy = zoo.select("Animal",
+                           predicate=lambda o: (o.get("weight") or 0) > 2)
+        assert len(heavy) == 2
+
+    def test_find_one(self, zoo):
+        zoo.create("Animal", name="Solo")
+        assert zoo.find_one("Animal", name="Solo")["name"] == "Solo"
+
+    def test_find_one_missing(self, zoo):
+        with pytest.raises(ObjectNotFound):
+            zoo.find_one("Animal", name="Ghost")
+
+    def test_find_one_ambiguous(self, zoo):
+        zoo.create("Animal", name="Twin")
+        zoo.create("Animal", name="Twin")
+        with pytest.raises(ObjectNotFound):
+            zoo.find_one("Animal", name="Twin")
+
+
+class TestReferences:
+    @pytest.fixture()
+    def linked(self):
+        db = ObjectDatabase("linked")
+        db.define_class("Dept", [Attribute("name", "string")])
+        db.define_class("Emp", [
+            Attribute("name", "string"),
+            Attribute("dept", "object", target="Dept"),
+            Attribute("buddies", "object", target="Emp", many=True),
+        ])
+        return db
+
+    def test_object_reference_stored_as_oid(self, linked):
+        dept = linked.create("Dept", name="IT")
+        emp = linked.create("Emp", name="A", dept=dept)
+        assert emp.deref("dept")["name"] == "IT"
+
+    def test_many_valued_reference(self, linked):
+        first = linked.create("Emp", name="A")
+        second = linked.create("Emp", name="B", buddies=[first])
+        assert [b["name"] for b in second.deref_many("buddies")] == ["A"]
+
+    def test_many_defaults_to_empty_list(self, linked):
+        emp = linked.create("Emp", name="A")
+        assert emp.deref_many("buddies") == []
+
+    def test_non_object_value_rejected(self, linked):
+        with pytest.raises(SchemaError):
+            linked.create("Emp", name="A", dept="IT")
+
+    def test_dangling_reference_raises_on_deref(self, linked):
+        dept = linked.create("Dept", name="IT")
+        emp = linked.create("Emp", name="A", dept=dept)
+        linked.delete(dept.oid)
+        with pytest.raises(ObjectNotFound):
+            emp.deref("dept")
+
+    def test_banner(self):
+        db = ObjectDatabase("x", product="Ontos", version="3.1")
+        assert db.banner == "Ontos 3.1"
+
+    def test_create_many(self, linked):
+        objs = linked.create_many("Dept", [{"name": "A"}, {"name": "B"}])
+        assert len(objs) == 2

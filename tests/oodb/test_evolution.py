@@ -1,0 +1,80 @@
+"""Schema evolution: adding attributes to live classes."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.oodb import Attribute, ObjectDatabase
+
+
+@pytest.fixture()
+def db():
+    db = ObjectDatabase("evo")
+    db.define_class("Person", [Attribute("name", "string", required=True)])
+    db.define_class("Doctor", [Attribute("position", "string")],
+                    bases=["Person"])
+    db.create("Person", name="Alice")
+    db.create("Doctor", name="Bob", position="RMO")
+    return db
+
+
+class TestAddAttribute:
+    def test_backfills_existing_objects(self, db):
+        db.add_attribute("Person", Attribute("age", "integer"), default=30)
+        for obj in db.extent("Person"):
+            assert obj["age"] == 30
+
+    def test_backfill_reaches_subclasses(self, db):
+        db.add_attribute("Person", Attribute("email", "string"))
+        bob = db.find_one("Doctor", name="Bob")
+        assert bob["email"] is None
+
+    def test_new_objects_accept_attribute(self, db):
+        db.add_attribute("Person", Attribute("age", "integer"))
+        carol = db.create("Person", name="Carol", age=25)
+        assert carol["age"] == 25
+
+    def test_queryable_after_evolution(self, db):
+        db.add_attribute("Person", Attribute("age", "integer"), default=40)
+        db.create("Person", name="Dan", age=20)
+        rows = db.query("SELECT name FROM Person WHERE age > 30")
+        assert {r["name"] for r in rows} == {"Alice", "Bob"}
+
+    def test_multi_valued_defaults_to_empty_list(self, db):
+        db.add_attribute("Person", Attribute("tags", "string", many=True))
+        alice = db.find_one("Person", name="Alice")
+        assert alice["tags"] == []
+
+    def test_duplicate_attribute_rejected(self, db):
+        with pytest.raises(SchemaError):
+            db.add_attribute("Person", Attribute("name", "string"))
+
+    def test_inherited_clash_rejected(self, db):
+        with pytest.raises(SchemaError):
+            db.add_attribute("Doctor", Attribute("name", "string"))
+
+    def test_subclass_kind_conflict_rejected(self, db):
+        db.schema.define_class("Nurse", [Attribute("grade", "integer")],
+                               bases=["Person"])
+        with pytest.raises(SchemaError):
+            db.add_attribute("Person", Attribute("grade", "string"))
+
+    def test_required_needs_default(self, db):
+        with pytest.raises(SchemaError):
+            db.add_attribute("Person",
+                             Attribute("ssn", "string", required=True))
+        db.add_attribute("Person",
+                         Attribute("ssn", "string", required=True),
+                         default="unknown")
+        assert db.find_one("Person", name="Alice")["ssn"] == "unknown"
+
+    def test_default_validated(self, db):
+        with pytest.raises(SchemaError):
+            db.add_attribute("Person", Attribute("age", "integer"),
+                             default="thirty")
+
+    def test_set_after_evolution_validates(self, db):
+        db.add_attribute("Person", Attribute("age", "integer"))
+        alice = db.find_one("Person", name="Alice")
+        alice.set("age", 33)
+        with pytest.raises(SchemaError):
+            alice.set("age", "old")

@@ -1,0 +1,82 @@
+"""Property-based tests for the object engine's lattice invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.oodb import Attribute, ObjectDatabase
+from repro.oodb.schema import Schema
+
+
+@st.composite
+def lattices(draw):
+    """Random single-inheritance forests encoded as parent indices."""
+    count = draw(st.integers(min_value=1, max_value=12))
+    parents = [draw(st.one_of(st.none(),
+                              st.integers(min_value=0, max_value=i - 1)))
+               if i else None for i in range(count)]
+    return parents
+
+
+@given(lattices())
+@settings(max_examples=50, deadline=None)
+def test_descendants_and_ancestors_are_inverse(parents):
+    schema = Schema()
+    names = [f"C{i}" for i in range(len(parents))]
+    for index, parent in enumerate(parents):
+        bases = [names[parent]] if parent is not None else []
+        schema.define_class(names[index], bases=bases)
+    for index, name in enumerate(names):
+        for descendant in schema.descendants(name):
+            assert name in schema.ancestors(descendant)
+        for ancestor in schema.ancestors(name):
+            assert name in schema.descendants(ancestor)
+
+
+@given(lattices())
+@settings(max_examples=50, deadline=None)
+def test_subclass_relation_is_transitive_and_reflexive(parents):
+    schema = Schema()
+    names = [f"C{i}" for i in range(len(parents))]
+    for index, parent in enumerate(parents):
+        bases = [names[parent]] if parent is not None else []
+        schema.define_class(names[index], bases=bases)
+    for name in names:
+        assert schema.is_subclass(name, name)
+    for middle in names:
+        for top in schema.ancestors(middle):
+            for bottom in schema.descendants(middle):
+                assert schema.is_subclass(bottom, top)
+
+
+@given(st.lists(st.tuples(st.text(min_size=1, max_size=8),
+                          st.integers(-1000, 1000)),
+                max_size=25))
+@settings(max_examples=40, deadline=None)
+def test_extent_size_matches_creations(rows):
+    db = ObjectDatabase("p")
+    db.define_class("Thing", [Attribute("label", "string"),
+                              Attribute("rank", "integer")])
+    for label, rank in rows:
+        db.create("Thing", label=label, rank=rank)
+    assert len(db.extent("Thing")) == len(rows)
+    # select partitions the extent
+    positive = db.select("Thing", predicate=lambda o: o["rank"] > 0)
+    rest = db.select("Thing", predicate=lambda o: o["rank"] <= 0)
+    assert len(positive) + len(rest) == len(rows)
+
+
+@given(st.lists(st.integers(0, 5), min_size=1, max_size=20))
+@settings(max_examples=40, deadline=None)
+def test_subclass_extents_partition_root_extent(choices):
+    db = ObjectDatabase("p")
+    db.define_class("Root", [Attribute("n", "integer")])
+    subclass_names = [f"Sub{i}" for i in range(6)]
+    for name in subclass_names:
+        db.define_class(name, bases=["Root"])
+    for choice in choices:
+        db.create(subclass_names[choice], n=choice)
+    total = sum(
+        len(db.extent(name, include_subclasses=False))
+        for name in subclass_names)
+    assert total == len(choices)
+    assert len(db.extent("Root")) == len(choices)

@@ -1,0 +1,125 @@
+"""Class lattice and attribute definition tests."""
+
+import datetime
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.oodb.schema import Attribute, OClass, Schema
+
+
+class TestAttribute:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("x", "blob")
+
+    def test_target_only_for_object_kind(self):
+        with pytest.raises(SchemaError):
+            Attribute("x", "string", target="Y")
+
+    def test_validate_string(self):
+        attribute = Attribute("name", "string")
+        assert attribute.validate("hi") == "hi"
+        with pytest.raises(SchemaError):
+            attribute.validate(7)
+
+    def test_validate_integer_rejects_bool(self):
+        attribute = Attribute("n", "integer")
+        assert attribute.validate(7) == 7
+        with pytest.raises(SchemaError):
+            attribute.validate(True)
+
+    def test_validate_real_accepts_int(self):
+        assert Attribute("r", "real").validate(4) == 4
+
+    def test_validate_date(self):
+        attribute = Attribute("d", "date")
+        today = datetime.date(1998, 1, 1)
+        assert attribute.validate(today) == today
+        with pytest.raises(SchemaError):
+            attribute.validate("1998-01-01")
+
+    def test_required_rejects_none(self):
+        with pytest.raises(SchemaError):
+            Attribute("x", "string", required=True).validate(None)
+
+    def test_optional_accepts_none(self):
+        assert Attribute("x", "string").validate(None) is None
+
+
+class TestSchemaDefinition:
+    def test_duplicate_class_rejected(self):
+        schema = Schema()
+        schema.define_class("A")
+        with pytest.raises(SchemaError):
+            schema.define_class("A")
+
+    def test_unknown_base_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema().define_class("B", bases=["Ghost"])
+
+    def test_attribute_override_must_keep_kind(self):
+        schema = Schema()
+        schema.define_class("A", [Attribute("x", "integer")])
+        with pytest.raises(SchemaError):
+            schema.define_class("B", [Attribute("x", "string")], bases=["A"])
+
+    def test_compatible_override_allowed(self):
+        schema = Schema()
+        schema.define_class("A", [Attribute("x", "integer")])
+        schema.define_class("B", [Attribute("x", "integer", required=True)],
+                            bases=["A"])
+        assert schema.all_attributes("B")["x"].required
+
+    def test_all_attributes_merges_inheritance(self):
+        schema = Schema()
+        schema.define_class("A", [Attribute("a", "string")])
+        schema.define_class("B", [Attribute("b", "integer")], bases=["A"])
+        assert set(schema.all_attributes("B")) == {"a", "b"}
+
+    def test_multiple_inheritance(self):
+        schema = Schema()
+        schema.define_class("A", [Attribute("a", "string")])
+        schema.define_class("B", [Attribute("b", "string")])
+        schema.define_class("C", bases=["A", "B"])
+        assert set(schema.all_attributes("C")) == {"a", "b"}
+
+    def test_get_missing_class(self):
+        with pytest.raises(SchemaError):
+            Schema().get("Nope")
+
+
+class TestLattice:
+    @pytest.fixture()
+    def schema(self):
+        schema = Schema()
+        schema.define_class("Root")
+        schema.define_class("Mid1", bases=["Root"])
+        schema.define_class("Mid2", bases=["Root"])
+        schema.define_class("Leaf", bases=["Mid1", "Mid2"])
+        return schema
+
+    def test_subclasses_direct_only(self, schema):
+        assert schema.subclasses("Root") == ["Mid1", "Mid2"]
+        assert schema.subclasses("Mid1") == ["Leaf"]
+
+    def test_descendants_transitive(self, schema):
+        assert set(schema.descendants("Root")) == {"Mid1", "Mid2", "Leaf"}
+
+    def test_descendants_no_duplicates_in_diamond(self, schema):
+        assert schema.descendants("Root").count("Leaf") == 1
+
+    def test_ancestors(self, schema):
+        assert set(schema.ancestors("Leaf")) == {"Mid1", "Mid2", "Root"}
+        assert schema.ancestors("Root") == []
+
+    def test_is_subclass(self, schema):
+        assert schema.is_subclass("Leaf", "Root")
+        assert schema.is_subclass("Root", "Root")
+        assert not schema.is_subclass("Root", "Leaf")
+
+    def test_roots(self, schema):
+        assert schema.roots() == ["Root"]
+
+    def test_class_names_in_definition_order(self, schema):
+        assert schema.class_names() == ["Root", "Mid1", "Mid2", "Leaf"]

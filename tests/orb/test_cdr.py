@@ -1,0 +1,156 @@
+"""CDR marshalling tests, including hypothesis round-trip properties."""
+
+import datetime
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MarshalError
+from repro.orb.cdr import CdrDecoder, CdrEncoder, decode_any, encode_any
+
+
+class TestPrimitives:
+    def test_octet(self):
+        encoder = CdrEncoder()
+        encoder.write_octet(0xAB)
+        assert CdrDecoder(encoder.getvalue()).read_octet() == 0xAB
+
+    def test_boolean(self):
+        encoder = CdrEncoder()
+        encoder.write_boolean(True)
+        encoder.write_boolean(False)
+        decoder = CdrDecoder(encoder.getvalue())
+        assert decoder.read_boolean() is True
+        assert decoder.read_boolean() is False
+
+    def test_long_alignment_after_octet(self):
+        encoder = CdrEncoder()
+        encoder.write_octet(1)
+        encoder.write_long(0x01020304)
+        data = encoder.getvalue()
+        # 1 octet + 3 padding + 4 payload
+        assert len(data) == 8
+        decoder = CdrDecoder(data)
+        assert decoder.read_octet() == 1
+        assert decoder.read_long() == 0x01020304
+
+    def test_double_alignment(self):
+        encoder = CdrEncoder()
+        encoder.write_octet(1)
+        encoder.write_double(1.5)
+        assert len(encoder.getvalue()) == 16
+        decoder = CdrDecoder(encoder.getvalue())
+        decoder.read_octet()
+        assert decoder.read_double() == 1.5
+
+    def test_big_endian_layout(self):
+        encoder = CdrEncoder(little_endian=False)
+        encoder.write_ulong(1)
+        assert encoder.getvalue() == b"\x00\x00\x00\x01"
+
+    def test_little_endian_layout(self):
+        encoder = CdrEncoder(little_endian=True)
+        encoder.write_ulong(1)
+        assert encoder.getvalue() == b"\x01\x00\x00\x00"
+
+    def test_string_includes_nul(self):
+        encoder = CdrEncoder()
+        encoder.write_string("ab")
+        data = encoder.getvalue()
+        assert data[:4] == b"\x00\x00\x00\x03"  # length counts NUL
+        assert data[4:7] == b"ab\x00"
+
+    def test_string_roundtrip_unicode(self):
+        encoder = CdrEncoder()
+        encoder.write_string("héllo wörld")
+        assert CdrDecoder(encoder.getvalue()).read_string() == "héllo wörld"
+
+    def test_underflow_raises(self):
+        with pytest.raises(MarshalError):
+            CdrDecoder(b"\x00\x00").read_long()
+
+    def test_negative_values(self):
+        encoder = CdrEncoder()
+        encoder.write_long(-42)
+        encoder.write_longlong(-(2**40))
+        decoder = CdrDecoder(encoder.getvalue())
+        assert decoder.read_long() == -42
+        assert decoder.read_longlong() == -(2**40)
+
+
+class TestAny:
+    @pytest.mark.parametrize("value", [
+        None, True, False, 0, 1, -1, 2**31 - 1, -2**31, 2**40, -2**40,
+        2**100, -2**100, 1.5, -0.25, "", "hello", "quoted 'str'",
+        b"", b"\x00\xff", datetime.date(1999, 3, 1),
+        [], [1, 2, 3], ["a", None, True], {}, {"k": 1},
+        {"nested": {"list": [1, [2, {"deep": None}]]}},
+    ])
+    def test_roundtrip(self, value):
+        assert decode_any(encode_any(value)) == value
+
+    def test_tuple_decodes_as_list(self):
+        assert decode_any(encode_any((1, 2))) == [1, 2]
+
+    def test_both_endiannesses(self):
+        value = {"x": [1.5, "s", None]}
+        for little in (False, True):
+            assert decode_any(encode_any(value, little), little) == value
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(MarshalError):
+            encode_any(object())
+
+    def test_non_string_struct_key_raises(self):
+        with pytest.raises(MarshalError):
+            encode_any({1: "x"})
+
+    def test_unknown_tag_raises(self):
+        with pytest.raises(MarshalError):
+            decode_any(b"\xfa")
+
+
+json_like = st.recursive(
+    st.one_of(
+        st.none(),
+        st.booleans(),
+        st.integers(min_value=-2**130, max_value=2**130),
+        st.floats(allow_nan=False, allow_infinity=False),
+        st.text(max_size=40),
+        st.binary(max_size=40),
+        st.dates(min_value=datetime.date(1, 1, 10),
+                 max_value=datetime.date(9999, 12, 20)),
+    ),
+    lambda children: st.one_of(
+        st.lists(children, max_size=5),
+        st.dictionaries(st.text(max_size=10), children, max_size=5),
+    ),
+    max_leaves=20)
+
+
+@given(value=json_like)
+@settings(max_examples=150, deadline=None)
+def test_any_roundtrip_property(value):
+    """Every supported value survives encode -> decode exactly."""
+    assert decode_any(encode_any(value)) == value
+
+
+@given(value=json_like, little=st.booleans())
+@settings(max_examples=80, deadline=None)
+def test_any_roundtrip_endianness_property(value, little):
+    assert decode_any(encode_any(value, little), little) == value
+
+
+@given(values=st.lists(json_like, max_size=6))
+@settings(max_examples=60, deadline=None)
+def test_sequential_values_share_stream(values):
+    """Multiple values encoded back-to-back decode in order (alignment
+    bookkeeping must be consistent across the whole stream)."""
+    encoder = CdrEncoder()
+    for value in values:
+        encoder.write_any(value)
+    decoder = CdrDecoder(encoder.getvalue())
+    for value in values:
+        assert decoder.read_any() == value
+    assert decoder.remaining() == 0

@@ -1,0 +1,67 @@
+"""Robustness fuzzing: corrupted CDR/GIOP bytes must raise MarshalError,
+never crash or hang."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MarshalError
+from repro.orb.cdr import decode_any, encode_any
+from repro.orb.giop import RequestMessage, decode_message, encode_message
+
+SAMPLE = {"rows": [[1, "x", None], [2.5, True, b"\x00"]],
+          "label": "payload"}
+
+
+@given(cut=st.integers(min_value=0, max_value=len(encode_any(SAMPLE)) - 1))
+@settings(max_examples=80, deadline=None)
+def test_truncated_cdr_raises_or_decodes_prefix(cut):
+    """Truncation either raises MarshalError or (when the cut lands on a
+    value boundary) yields a well-formed prefix — never an exception of
+    another type."""
+    data = encode_any(SAMPLE)[:cut]
+    try:
+        decode_any(data)
+    except MarshalError:
+        pass
+
+
+@given(position=st.integers(min_value=0, max_value=200),
+       replacement=st.integers(min_value=0, max_value=255))
+@settings(max_examples=120, deadline=None)
+def test_bitflipped_cdr_never_crashes(position, replacement):
+    data = bytearray(encode_any(SAMPLE))
+    position %= len(data)
+    data[position] = replacement
+    try:
+        decode_any(bytes(data))
+    except MarshalError:
+        pass
+    except UnicodeDecodeError:
+        pytest.fail("string decoding leaked a UnicodeDecodeError")
+
+
+@given(junk=st.binary(min_size=0, max_size=64))
+@settings(max_examples=100, deadline=None)
+def test_random_bytes_as_giop(junk):
+    try:
+        decode_message(junk)
+    except MarshalError:
+        pass
+
+
+@given(position=st.integers(min_value=0, max_value=500),
+       replacement=st.integers(min_value=0, max_value=255))
+@settings(max_examples=120, deadline=None)
+def test_bitflipped_giop_never_crashes(position, replacement):
+    frame = bytearray(encode_message(RequestMessage(
+        request_id=9, object_key=b"orb/X/obj", operation="op",
+        arguments=[SAMPLE])))
+    position %= len(frame)
+    frame[position] = replacement
+    try:
+        decode_message(bytes(frame))
+    except MarshalError:
+        pass
+    except UnicodeDecodeError:
+        pytest.fail("GIOP decode leaked a UnicodeDecodeError")

@@ -1,0 +1,90 @@
+"""Portable-interceptor-style request hooks."""
+
+import pytest
+
+from repro.errors import UnknownCoalition
+from repro.orb import (InMemoryNetwork, InterfaceBuilder, create_orb, ORBIX,
+                       VISIBROKER)
+from repro.orb.giop import ReplyStatus
+
+ECHO = (InterfaceBuilder("Echo").operation("echo", "value")
+        .operation("boom").build())
+
+
+class EchoServant:
+    def echo(self, value):
+        return value
+
+    def boom(self):
+        raise UnknownCoalition("nope")
+
+
+@pytest.fixture()
+def fabric():
+    network = InMemoryNetwork()
+    server = create_orb(ORBIX, network)
+    client = create_orb(VISIBROKER, network)
+    ior = server.activate(EchoServant(), ECHO)
+    return server, client, ior
+
+
+class TestInterceptors:
+    def test_client_interceptor_sees_outgoing_request(self, fabric):
+        __, client, ior = fabric
+        seen = []
+        client.add_client_interceptor(
+            lambda request: seen.append((request.operation,
+                                         list(request.arguments))))
+        client.proxy(ior, ECHO).echo("hi")
+        assert seen == [("echo", ["hi"])]
+
+    def test_server_interceptor_sees_request_and_reply(self, fabric):
+        server, client, ior = fabric
+        seen = []
+        server.add_server_interceptor(
+            lambda request, reply: seen.append((request.operation,
+                                                reply.status)))
+        client.proxy(ior, ECHO).echo("hi")
+        assert seen == [("echo", ReplyStatus.NO_EXCEPTION)]
+
+    def test_server_interceptor_sees_user_exception(self, fabric):
+        server, client, ior = fabric
+        statuses = []
+        server.add_server_interceptor(
+            lambda request, reply: statuses.append(reply.status))
+        with pytest.raises(UnknownCoalition):
+            client.proxy(ior, ECHO).boom()
+        assert statuses == [ReplyStatus.USER_EXCEPTION]
+
+    def test_multiple_interceptors_run_in_order(self, fabric):
+        __, client, ior = fabric
+        order = []
+        client.add_client_interceptor(lambda request: order.append("first"))
+        client.add_client_interceptor(lambda request: order.append("second"))
+        client.proxy(ior, ECHO).echo("x")
+        assert order == ["first", "second"]
+
+    def test_interceptor_can_append_service_context(self, fabric):
+        """The classic use: tunnelling extra context with the request."""
+        server, client, ior = fabric
+        client.add_client_interceptor(
+            lambda request: request.service_context.append((0x7777, "trace-1")))
+        contexts = []
+        server.add_server_interceptor(
+            lambda request, reply: contexts.append(
+                dict(request.service_context).get(0x7777)))
+        client.proxy(ior, ECHO).echo("x")
+        assert contexts == ["trace-1"]
+
+    def test_interceptor_builds_a_call_log(self, fabric):
+        """A tracing interceptor across a small session."""
+        server, client, ior = fabric
+        log = []
+        server.add_server_interceptor(
+            lambda request, reply: log.append(request.operation))
+        proxy = client.proxy(ior, ECHO)
+        proxy.echo(1)
+        proxy.echo(2)
+        with pytest.raises(UnknownCoalition):
+            proxy.boom()
+        assert log == ["echo", "echo", "boom"]

@@ -1,0 +1,108 @@
+"""Transport tests: in-memory fabric metrics and real TCP IIOP."""
+
+import pytest
+
+from repro.errors import CommFailure
+from repro.orb import (InMemoryNetwork, InterfaceBuilder, TcpTransport,
+                       create_orb, ORBIX, VISIBROKER)
+
+ECHO = InterfaceBuilder("Echo").operation("echo", "value").build()
+
+
+class EchoServant:
+    def echo(self, value):
+        return value
+
+
+class TestInMemoryNetwork:
+    def test_endpoint_allocation_unique(self):
+        network = InMemoryNetwork()
+        assert network.allocate_port() != network.allocate_port()
+
+    def test_duplicate_registration_rejected(self):
+        network = InMemoryNetwork()
+        endpoint = ("h", 1)
+        network.register(endpoint, lambda data: data)
+        with pytest.raises(CommFailure):
+            network.register(endpoint, lambda data: data)
+
+    def test_send_to_unbound_endpoint(self):
+        with pytest.raises(CommFailure):
+            InMemoryNetwork().send(("ghost", 9), b"x")
+
+    def test_metrics_accumulate(self):
+        network = InMemoryNetwork()
+        server = create_orb(ORBIX, network)
+        client = create_orb(VISIBROKER, network)
+        ior = server.activate(EchoServant(), ECHO)
+        network.metrics.reset()
+        client.proxy(ior, ECHO).echo("hello")
+        assert network.metrics.messages_sent == 1
+        assert network.metrics.bytes_sent > 0
+        assert network.metrics.bytes_received > 0
+        assert network.metrics.per_endpoint[server.endpoint] == 1
+
+    def test_metrics_reset(self):
+        network = InMemoryNetwork()
+        network.register(("h", 1), lambda data: data)
+        network.send(("h", 1), b"abc")
+        network.metrics.reset()
+        assert network.metrics.messages_sent == 0
+        assert not network.metrics.per_endpoint
+
+    def test_unregister_frees_endpoint(self):
+        network = InMemoryNetwork()
+        endpoint = network.register(("h", 5), lambda data: data)
+        network.unregister(endpoint)
+        with pytest.raises(CommFailure):
+            network.send(endpoint, b"x")
+        network.register(endpoint, lambda data: data)  # rebindable
+
+
+class TestTcpTransport:
+    def test_roundtrip_over_sockets(self):
+        transport = TcpTransport()
+        try:
+            server = create_orb(ORBIX, transport, host="127.0.0.1", port=0)
+            client = create_orb(VISIBROKER, transport, host="127.0.0.1",
+                                port=0)
+            ior = server.activate(EchoServant(), ECHO)
+            assert ior.primary.port != 0  # OS assigned a real port
+            payload = {"list": [1, 2.5, None], "s": "data"}
+            assert client.proxy(ior, ECHO).echo(payload) == payload
+        finally:
+            transport.close()
+
+    def test_large_payload(self):
+        transport = TcpTransport()
+        try:
+            server = create_orb(ORBIX, transport, host="127.0.0.1", port=0)
+            client = create_orb(VISIBROKER, transport, host="127.0.0.1",
+                                port=0)
+            ior = server.activate(EchoServant(), ECHO)
+            blob = "x" * 200_000
+            assert client.proxy(ior, ECHO).echo(blob) == blob
+        finally:
+            transport.close()
+
+    def test_connection_refused(self):
+        transport = TcpTransport(timeout=0.5)
+        client = create_orb(VISIBROKER, transport, host="127.0.0.1", port=0)
+        from repro.orb import make_ior
+        ghost = make_ior("IDL:x:1.0", "127.0.0.1", 1, b"k")
+        with pytest.raises(CommFailure):
+            client.invoke(ghost, "echo", ["x"])
+        transport.close()
+
+    def test_metrics_on_tcp(self):
+        transport = TcpTransport()
+        try:
+            server = create_orb(ORBIX, transport, host="127.0.0.1", port=0)
+            client = create_orb(VISIBROKER, transport, host="127.0.0.1",
+                                port=0)
+            ior = server.activate(EchoServant(), ECHO)
+            transport.metrics.reset()
+            client.proxy(ior, ECHO).echo("x")
+            assert transport.metrics.messages_sent == 1
+        finally:
+            transport.close()

@@ -1,0 +1,111 @@
+"""ALTER TABLE ADD COLUMN, column DEFAULTs, and DML subqueries."""
+
+import pytest
+
+from repro.errors import CatalogError, IntegrityError, SqlError
+from repro.sql.engine import Database
+
+
+@pytest.fixture()
+def db():
+    db = Database("alter")
+    db.execute("CREATE TABLE t (id INT PRIMARY KEY, name VARCHAR(20))")
+    db.execute("INSERT INTO t VALUES (1, 'a'), (2, 'b')")
+    return db
+
+
+class TestAlterTable:
+    def test_add_column_backfills_default(self, db):
+        db.execute("ALTER TABLE t ADD COLUMN age INT DEFAULT 30")
+        assert db.execute("SELECT age FROM t").rows == [(30,), (30,)]
+
+    def test_add_column_without_default_backfills_null(self, db):
+        db.execute("ALTER TABLE t ADD nickname VARCHAR(10)")
+        assert db.execute(
+            "SELECT nickname FROM t WHERE id = 1").scalar() is None
+
+    def test_new_inserts_use_full_width(self, db):
+        db.execute("ALTER TABLE t ADD age INT DEFAULT 0")
+        db.execute("INSERT INTO t VALUES (3, 'c', 55)")
+        assert db.execute(
+            "SELECT age FROM t WHERE id = 3").scalar() == 55
+
+    def test_partial_insert_uses_column_default(self, db):
+        db.execute("ALTER TABLE t ADD age INT DEFAULT 7")
+        db.execute("INSERT INTO t (id, name) VALUES (4, 'd')")
+        assert db.execute(
+            "SELECT age FROM t WHERE id = 4").scalar() == 7
+
+    def test_duplicate_column_rejected(self, db):
+        with pytest.raises(IntegrityError):
+            db.execute("ALTER TABLE t ADD name VARCHAR(5)")
+
+    def test_not_null_requires_default(self, db):
+        with pytest.raises(IntegrityError):
+            db.execute("ALTER TABLE t ADD must INT NOT NULL")
+        db.execute("ALTER TABLE t ADD must INT NOT NULL DEFAULT 1")
+
+    def test_primary_key_add_rejected(self, db):
+        with pytest.raises(SqlError):
+            db.execute("ALTER TABLE t ADD pk INT PRIMARY KEY")
+
+    def test_unique_column_enforced_after_add(self, db):
+        db.execute("ALTER TABLE t ADD code INT UNIQUE")
+        db.execute("UPDATE t SET code = id")
+        with pytest.raises(IntegrityError):
+            db.execute("INSERT INTO t VALUES (5, 'e', 1)")
+
+    def test_alter_missing_table(self, db):
+        with pytest.raises(CatalogError):
+            db.execute("ALTER TABLE ghost ADD x INT")
+
+    def test_create_table_default_applies(self, db):
+        db.execute("CREATE TABLE d (a INT, b VARCHAR(5) DEFAULT 'x')")
+        db.execute("INSERT INTO d (a) VALUES (1)")
+        assert db.execute("SELECT b FROM d").scalar() == "x"
+
+    def test_rollback_after_alter_keeps_column_restores_rows(self, db):
+        db.execute("BEGIN")
+        db.execute("DELETE FROM t WHERE id = 2")
+        db.execute("ALTER TABLE t ADD extra INT DEFAULT 9")
+        db.execute("ROLLBACK")
+        # rows restored; the added column survives as NULL-padded
+        assert db.row_count("t") == 2
+        assert db.execute(
+            "SELECT extra FROM t WHERE id = 2").scalar() is None
+
+
+class TestDmlSubqueries:
+    @pytest.fixture()
+    def shop(self):
+        db = Database("shop")
+        db.execute("CREATE TABLE items (id INT PRIMARY KEY, price REAL)")
+        db.execute("CREATE TABLE stats (kind VARCHAR(10), value REAL)")
+        db.execute("INSERT INTO items VALUES (1, 10.0), (2, 20.0), "
+                   "(3, 30.0)")
+        return db
+
+    def test_update_set_from_scalar_subquery(self, shop):
+        shop.execute("INSERT INTO stats VALUES ('avg', 0.0)")
+        shop.execute("UPDATE stats SET value = "
+                     "(SELECT AVG(price) FROM items) WHERE kind = 'avg'")
+        assert shop.execute(
+            "SELECT value FROM stats").scalar() == 20.0
+
+    def test_update_where_subquery(self, shop):
+        shop.execute("UPDATE items SET price = 0 WHERE price > "
+                     "(SELECT AVG(price) FROM items)")
+        assert shop.execute(
+            "SELECT COUNT(*) FROM items WHERE price = 0").scalar() == 1
+
+    def test_delete_where_in_subquery(self, shop):
+        shop.execute("INSERT INTO stats VALUES ('cut', 15.0)")
+        shop.execute("DELETE FROM items WHERE price < "
+                     "(SELECT value FROM stats WHERE kind = 'cut')")
+        assert shop.row_count("items") == 2
+
+    def test_insert_values_with_subquery(self, shop):
+        shop.execute("INSERT INTO stats VALUES "
+                     "('max', (SELECT MAX(price) FROM items))")
+        assert shop.execute(
+            "SELECT value FROM stats WHERE kind = 'max'").scalar() == 30.0

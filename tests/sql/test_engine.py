@@ -1,0 +1,213 @@
+"""Database facade: DDL, transactions, dialects, metadata."""
+
+import pytest
+
+from repro.errors import (CatalogError, SqlError, SqlTypeError,
+                          TransactionError)
+from repro.sql.dialect import DB2, MSQL, ORACLE, SYBASE, get_dialect
+from repro.sql.engine import Database
+from repro.sql.types import SqlType
+
+
+class TestDdl:
+    def test_create_and_list_tables(self):
+        db = Database("d")
+        db.execute("CREATE TABLE a (x INT)")
+        db.execute("CREATE TABLE b (y INT)")
+        assert db.table_names() == ["a", "b"]
+
+    def test_create_duplicate_table_raises(self):
+        db = Database("d")
+        db.execute("CREATE TABLE a (x INT)")
+        with pytest.raises(CatalogError):
+            db.execute("CREATE TABLE a (x INT)")
+
+    def test_if_not_exists_is_silent(self):
+        db = Database("d")
+        db.execute("CREATE TABLE a (x INT)")
+        db.execute("CREATE TABLE IF NOT EXISTS a (x INT)")
+
+    def test_drop_table(self):
+        db = Database("d")
+        db.execute("CREATE TABLE a (x INT)")
+        db.execute("DROP TABLE a")
+        assert not db.table_names()
+
+    def test_drop_missing_table(self):
+        db = Database("d")
+        with pytest.raises(CatalogError):
+            db.execute("DROP TABLE ghost")
+        db.execute("DROP TABLE IF EXISTS ghost")  # silent
+
+    def test_case_insensitive_table_lookup(self):
+        db = Database("d")
+        db.execute("CREATE TABLE People (x INT)")
+        db.execute("INSERT INTO people VALUES (1)")
+        assert db.execute("SELECT * FROM PEOPLE").rowcount == 1
+
+    def test_unique_column_constraint(self):
+        from repro.errors import IntegrityError
+        db = Database("d")
+        db.execute("CREATE TABLE u (id INT PRIMARY KEY, email VARCHAR(40) UNIQUE)")
+        db.execute("INSERT INTO u VALUES (1, 'a@x.com')")
+        with pytest.raises(IntegrityError):
+            db.execute("INSERT INTO u VALUES (2, 'a@x.com')")
+
+    def test_create_index_on_missing_column(self):
+        db = Database("d")
+        db.execute("CREATE TABLE t (a INT)")
+        with pytest.raises(CatalogError):
+            db.execute("CREATE INDEX i ON t (missing)")
+
+    def test_drop_index(self):
+        db = Database("d")
+        db.execute("CREATE TABLE t (a INT)")
+        db.execute("CREATE INDEX i ON t (a)")
+        db.execute("DROP INDEX i")
+        with pytest.raises(CatalogError):
+            db.execute("DROP INDEX i")
+
+    def test_execute_script(self):
+        db = Database("d")
+        results = db.execute_script(
+            "CREATE TABLE t (a INT); INSERT INTO t VALUES (1); "
+            "SELECT * FROM t")
+        assert results[-1].rows == [(1,)]
+
+
+class TestTransactions:
+    def _db(self):
+        db = Database("t")
+        db.execute("CREATE TABLE t (a INT)")
+        db.execute("INSERT INTO t VALUES (1), (2)")
+        return db
+
+    def test_rollback_restores_rows(self):
+        db = self._db()
+        db.execute("BEGIN")
+        db.execute("DELETE FROM t")
+        db.execute("INSERT INTO t VALUES (99)")
+        db.execute("ROLLBACK")
+        assert sorted(r[0] for r in db.execute("SELECT * FROM t").rows) == [1, 2]
+
+    def test_commit_keeps_changes(self):
+        db = self._db()
+        db.execute("BEGIN")
+        db.execute("INSERT INTO t VALUES (3)")
+        db.execute("COMMIT")
+        assert db.row_count("t") == 3
+
+    def test_nested_begin_rejected(self):
+        db = self._db()
+        db.execute("BEGIN")
+        with pytest.raises(TransactionError):
+            db.execute("BEGIN")
+
+    def test_commit_without_begin(self):
+        with pytest.raises(TransactionError):
+            self._db().execute("COMMIT")
+
+    def test_rollback_without_begin(self):
+        with pytest.raises(TransactionError):
+            self._db().execute("ROLLBACK")
+
+    def test_rollback_drops_tables_created_inside(self):
+        db = self._db()
+        db.execute("BEGIN")
+        db.execute("CREATE TABLE fresh (x INT)")
+        db.execute("ROLLBACK")
+        assert "fresh" not in db.table_names()
+
+    def test_in_transaction_flag(self):
+        db = self._db()
+        assert not db.in_transaction
+        db.begin()
+        assert db.in_transaction
+        db.commit()
+        assert not db.in_transaction
+
+    def test_rollback_preserves_row_ids(self):
+        db = self._db()
+        db.begin()
+        db.execute("INSERT INTO t VALUES (3)")
+        db.rollback()
+        db.execute("INSERT INTO t VALUES (4)")
+        # No duplicate-key style clash from reused internal ids.
+        assert db.row_count("t") == 3
+
+
+class TestDialects:
+    def test_oracle_types(self):
+        db = Database("o", dialect="oracle")
+        db.execute("CREATE TABLE t (a VARCHAR2(10), b NUMBER, c CLOB)")
+        schema = db.schema_of("t")
+        assert schema.columns[0].sql_type is SqlType.TEXT
+        assert schema.columns[1].sql_type is SqlType.REAL
+
+    def test_db2_banner(self):
+        assert Database("d", dialect="db2").banner.startswith("DB2")
+
+    def test_unknown_dialect(self):
+        with pytest.raises(SqlError):
+            Database("x", dialect="postgres")
+
+    def test_unknown_type_in_dialect(self):
+        db = Database("m", dialect="msql")
+        with pytest.raises(SqlError):
+            db.execute("CREATE TABLE t (a VARCHAR2(10))")
+
+    def test_dialect_literal_formatting(self):
+        assert ORACLE.format_literal("O'Brien") == "'O''Brien'"
+        assert MSQL.format_literal(None) == "NULL"
+        assert DB2.format_literal(True) == "TRUE"
+        assert SYBASE.quote_identifier("order") == "[order]"
+
+    def test_get_dialect_case_insensitive(self):
+        assert get_dialect("ORACLE") is ORACLE
+
+    def test_same_sql_across_dialects(self):
+        """The cross-dialect guarantee the wrapper layer relies on."""
+        results = []
+        for dialect in ("oracle", "msql", "db2"):
+            db = Database(f"d-{dialect}", dialect=dialect)
+            db.execute("CREATE TABLE t (a INT, b VARCHAR(10))")
+            db.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y')")
+            results.append(db.execute(
+                "SELECT b FROM t WHERE a = 2").scalar())
+        assert results == ["y", "y", "y"]
+
+
+class TestMetadata:
+    def test_statement_counter(self):
+        db = Database("d")
+        before = db.statements_executed
+        db.execute("CREATE TABLE t (a INT)")
+        db.execute("SELECT * FROM t")
+        assert db.statements_executed == before + 2
+
+    def test_load_rows_bypasses_sql(self):
+        db = Database("d")
+        db.execute("CREATE TABLE t (a INT, b VARCHAR(5))")
+        assert db.load_rows("t", [[1, "x"], [2, "y"]]) == 2
+        assert db.row_count("t") == 2
+
+    def test_load_rows_still_validates(self):
+        db = Database("d")
+        db.execute("CREATE TABLE t (a INT NOT NULL)")
+        from repro.errors import IntegrityError
+        with pytest.raises(IntegrityError):
+            db.load_rows("t", [[None]])
+
+    def test_coercion_on_insert(self):
+        db = Database("d")
+        db.execute("CREATE TABLE t (a INT, d DATE)")
+        db.execute("INSERT INTO t VALUES ('12', '1998-03-04')")
+        import datetime
+        assert db.execute("SELECT a, d FROM t").first() == (
+            12, datetime.date(1998, 3, 4))
+
+    def test_bad_coercion_raises(self):
+        db = Database("d")
+        db.execute("CREATE TABLE t (a INT)")
+        with pytest.raises(SqlTypeError):
+            db.execute("INSERT INTO t VALUES ('not a number')")

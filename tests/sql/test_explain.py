@@ -1,0 +1,79 @@
+"""EXPLAIN plan descriptions."""
+
+import pytest
+
+from repro.sql.engine import Database
+
+
+@pytest.fixture()
+def db():
+    db = Database("ex")
+    db.execute("CREATE TABLE t (id INT PRIMARY KEY, grp INT, v REAL)")
+    db.execute("CREATE TABLE u (id INT PRIMARY KEY, name VARCHAR(10))")
+    db.execute("CREATE INDEX idx_grp ON t (grp)")
+    return db
+
+
+def plan_lines(db, sql):
+    return [row[0] for row in db.execute(f"EXPLAIN {sql}").rows]
+
+
+class TestExplain:
+    def test_seq_scan(self, db):
+        lines = plan_lines(db, "SELECT * FROM t")
+        assert lines[0] == "Select"
+        assert lines[1] == "  SeqScan(t)"
+
+    def test_pk_index_lookup(self, db):
+        lines = plan_lines(db, "SELECT * FROM t WHERE id = 5")
+        assert "  IndexLookup(t) key=(id)" in lines
+
+    def test_secondary_index_lookup_with_residual(self, db):
+        lines = plan_lines(db, "SELECT * FROM t WHERE grp = 2 AND v > 1")
+        assert "  IndexLookup(t) key=(grp)" in lines
+        assert any("Filter: t" not in line and "Filter:" in line
+                   for line in lines)
+
+    def test_hash_join(self, db):
+        lines = plan_lines(db, "SELECT * FROM t JOIN u ON t.id = u.id")
+        assert any("HashJoin[INNER] on t.id = u.id" in line
+                   for line in lines)
+
+    def test_nested_loop_for_inequality(self, db):
+        lines = plan_lines(db, "SELECT * FROM t JOIN u ON t.id < u.id")
+        assert any("NestedLoop[INNER]" in line for line in lines)
+
+    def test_aggregate_and_sort_lines(self, db):
+        lines = plan_lines(
+            db, "SELECT grp, COUNT(*) FROM t GROUP BY grp "
+                "ORDER BY grp DESC LIMIT 3")
+        assert "  Aggregate: group by grp" in lines
+        assert "  Sort: grp DESC" in lines
+        assert "  Limit: 3" in lines
+
+    def test_scalar_aggregate(self, db):
+        lines = plan_lines(db, "SELECT COUNT(*) FROM t")
+        assert "  Aggregate: scalar" in lines
+
+    def test_union(self, db):
+        lines = plan_lines(db, "SELECT id FROM t UNION ALL SELECT id FROM u")
+        assert lines[0] == "Union[ALL]"
+
+    def test_view_expands_to_derived(self, db):
+        db.execute("CREATE VIEW vw AS SELECT id FROM t WHERE v > 0")
+        lines = plan_lines(db, "SELECT * FROM vw")
+        assert any("Derived(vw)" in line for line in lines)
+        assert any("SeqScan(t)" in line for line in lines)
+
+    def test_dml_explained(self, db):
+        assert plan_lines(db, "DELETE FROM t WHERE id = 1") == ["Delete(t)"]
+        assert plan_lines(db, "UPDATE t SET v = 0") == ["Update(t)"]
+
+    def test_alias_shown(self, db):
+        lines = plan_lines(db, "SELECT * FROM t alias")
+        assert "  SeqScan(t) as alias" in lines
+
+    def test_explain_does_not_execute(self, db):
+        db.execute("INSERT INTO t VALUES (1, 1, 1.0)")
+        db.execute("EXPLAIN DELETE FROM t")
+        assert db.row_count("t") == 1

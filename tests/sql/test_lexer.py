@@ -1,0 +1,129 @@
+"""SQL lexer unit tests."""
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.sql.lexer import tokenize
+from repro.sql.tokens import TokenType
+
+
+def kinds(sql):
+    return [t.type for t in tokenize(sql)]
+
+
+def values(sql):
+    return [t.value for t in tokenize(sql)[:-1]]
+
+
+class TestBasics:
+    def test_empty_input_yields_only_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].type is TokenType.EOF
+
+    def test_keywords_are_uppercased(self):
+        assert values("select from where") == ["SELECT", "FROM", "WHERE"]
+
+    def test_identifiers_preserve_case(self):
+        tokens = tokenize("SELECT Name FROM Person")
+        assert tokens[1].value == "Name"
+        assert tokens[1].type is TokenType.IDENTIFIER
+
+    def test_underscore_identifier(self):
+        assert values("medical_students")[0] == "medical_students"
+
+    def test_integer_literal(self):
+        token = tokenize("42")[0]
+        assert token.type is TokenType.INTEGER
+        assert token.value == 42
+
+    def test_real_literal(self):
+        token = tokenize("3.25")[0]
+        assert token.type is TokenType.REAL
+        assert token.value == pytest.approx(3.25)
+
+    def test_exponent_literal(self):
+        token = tokenize("1e3")[0]
+        assert token.type is TokenType.REAL
+        assert token.value == pytest.approx(1000.0)
+
+    def test_negative_exponent(self):
+        token = tokenize("2.5E-2")[0]
+        assert token.value == pytest.approx(0.025)
+
+    def test_leading_dot_number(self):
+        token = tokenize(".5")[0]
+        assert token.type is TokenType.REAL
+        assert token.value == pytest.approx(0.5)
+
+
+class TestStrings:
+    def test_simple_string(self):
+        token = tokenize("'hello'")[0]
+        assert token.type is TokenType.STRING
+        assert token.value == "hello"
+
+    def test_escaped_quote(self):
+        token = tokenize("'O''Brien'")[0]
+        assert token.value == "O'Brien"
+
+    def test_empty_string(self):
+        assert tokenize("''")[0].value == ""
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("'oops")
+
+    def test_string_keeps_case_and_spaces(self):
+        assert tokenize("'AIDS and drugs'")[0].value == "AIDS and drugs"
+
+
+class TestQuotedIdentifiers:
+    def test_double_quoted(self):
+        token = tokenize('"Select"')[0]
+        assert token.type is TokenType.IDENTIFIER
+        assert token.value == "Select"
+
+    def test_bracketed(self):
+        token = tokenize("[order]")[0]
+        assert token.type is TokenType.IDENTIFIER
+        assert token.value == "order"
+
+    def test_unterminated_quoted_identifier(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize('"abc')
+
+    def test_empty_quoted_identifier(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize('""')
+
+
+class TestOperatorsAndComments:
+    def test_multi_char_operators(self):
+        assert values("a <> b <= c >= d != e || f") == [
+            "a", "<>", "b", "<=", "c", ">=", "d", "!=", "e", "||", "f"]
+
+    def test_line_comment_skipped(self):
+        assert values("SELECT 1 -- trailing comment") == ["SELECT", 1]
+
+    def test_block_comment_skipped(self):
+        assert values("SELECT /* inline */ 1") == ["SELECT", 1]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("SELECT /* oops")
+
+    def test_param_token(self):
+        token = tokenize("?")[0]
+        assert token.type is TokenType.PARAM
+
+    def test_unexpected_character(self):
+        with pytest.raises(SqlSyntaxError) as excinfo:
+            tokenize("SELECT $")
+        assert "$" in str(excinfo.value)
+
+    def test_position_tracking(self):
+        tokens = tokenize("SELECT\n  name")
+        assert tokens[0].line == 1
+        assert tokens[1].line == 2
+        assert tokens[1].column == 3

@@ -1,0 +1,297 @@
+"""SQL parser unit tests."""
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.sql import ast
+from repro.sql.parser import parse, parse_script
+
+
+class TestSelect:
+    def test_select_star(self):
+        statement = parse("SELECT * FROM t")
+        assert isinstance(statement, ast.Select)
+        assert isinstance(statement.items[0].expression, ast.Star)
+        assert statement.from_item.name == "t"
+
+    def test_table_star(self):
+        statement = parse("SELECT t.* FROM t")
+        assert statement.items[0].expression.table == "t"
+
+    def test_column_alias_with_as(self):
+        statement = parse("SELECT name AS n FROM t")
+        assert statement.items[0].alias == "n"
+
+    def test_column_alias_bare(self):
+        statement = parse("SELECT name n FROM t")
+        assert statement.items[0].alias == "n"
+
+    def test_qualified_column(self):
+        statement = parse("SELECT t.name FROM t")
+        ref = statement.items[0].expression
+        assert ref.table == "t" and ref.name == "name"
+
+    def test_where_clause(self):
+        statement = parse("SELECT a FROM t WHERE a > 3 AND b = 'x'")
+        assert isinstance(statement.where, ast.Binary)
+        assert statement.where.op == "AND"
+
+    def test_distinct(self):
+        assert parse("SELECT DISTINCT a FROM t").distinct
+
+    def test_group_by_having(self):
+        statement = parse(
+            "SELECT city, COUNT(*) FROM t GROUP BY city HAVING COUNT(*) > 1")
+        assert len(statement.group_by) == 1
+        assert isinstance(statement.having, ast.Binary)
+
+    def test_order_by_directions(self):
+        statement = parse("SELECT a FROM t ORDER BY a DESC, b ASC, c")
+        directions = [item.ascending for item in statement.order_by]
+        assert directions == [False, True, True]
+
+    def test_limit_offset(self):
+        statement = parse("SELECT a FROM t LIMIT 10 OFFSET 5")
+        assert statement.limit.value == 10
+        assert statement.offset.value == 5
+
+    def test_select_without_from(self):
+        statement = parse("SELECT 1 + 2")
+        assert statement.from_item is None
+
+    def test_union(self):
+        statement = parse("SELECT a FROM t UNION SELECT b FROM u")
+        assert isinstance(statement, ast.Union)
+        assert not statement.all
+
+    def test_union_all_order(self):
+        statement = parse(
+            "SELECT a FROM t UNION ALL SELECT b FROM u ORDER BY 1")
+        assert statement.all
+        assert len(statement.order_by) == 1
+
+
+class TestJoins:
+    def test_inner_join_on(self):
+        statement = parse("SELECT * FROM a JOIN b ON a.id = b.id")
+        join = statement.from_item
+        assert isinstance(join, ast.Join)
+        assert join.kind == "INNER"
+        assert isinstance(join.condition, ast.Binary)
+
+    def test_left_outer_join(self):
+        join = parse("SELECT * FROM a LEFT OUTER JOIN b ON a.x = b.x").from_item
+        assert join.kind == "LEFT"
+
+    def test_right_join(self):
+        join = parse("SELECT * FROM a RIGHT JOIN b ON a.x = b.x").from_item
+        assert join.kind == "RIGHT"
+
+    def test_cross_join(self):
+        join = parse("SELECT * FROM a CROSS JOIN b").from_item
+        assert join.kind == "CROSS"
+        assert join.condition is None
+
+    def test_comma_join_is_cross(self):
+        join = parse("SELECT * FROM a, b").from_item
+        assert join.kind == "CROSS"
+
+    def test_join_using(self):
+        join = parse("SELECT * FROM a JOIN b USING (id, kind)").from_item
+        assert join.using == ["id", "kind"]
+
+    def test_join_requires_condition(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT * FROM a JOIN b")
+
+    def test_derived_table(self):
+        statement = parse("SELECT * FROM (SELECT a FROM t) sub")
+        assert isinstance(statement.from_item, ast.SubqueryRef)
+        assert statement.from_item.alias == "sub"
+
+    def test_chained_joins(self):
+        join = parse(
+            "SELECT * FROM a JOIN b ON a.x = b.x JOIN c ON b.y = c.y"
+        ).from_item
+        assert isinstance(join.left, ast.Join)
+
+
+class TestExpressions:
+    def _expr(self, text):
+        return parse(f"SELECT {text}").items[0].expression
+
+    def test_precedence_arithmetic(self):
+        expr = self._expr("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_precedence_and_or(self):
+        expr = parse("SELECT a FROM t WHERE x = 1 OR y = 2 AND z = 3").where
+        assert expr.op == "OR"
+        assert expr.right.op == "AND"
+
+    def test_not(self):
+        expr = parse("SELECT a FROM t WHERE NOT x = 1").where
+        assert isinstance(expr, ast.Unary)
+        assert expr.op == "NOT"
+
+    def test_unary_minus(self):
+        expr = self._expr("-5")
+        assert isinstance(expr, ast.Unary)
+
+    def test_is_null_and_not_null(self):
+        null_check = parse("SELECT a FROM t WHERE x IS NULL").where
+        assert isinstance(null_check, ast.IsNull) and not null_check.negated
+        not_null = parse("SELECT a FROM t WHERE x IS NOT NULL").where
+        assert not_null.negated
+
+    def test_in_list(self):
+        expr = parse("SELECT a FROM t WHERE x IN (1, 2, 3)").where
+        assert isinstance(expr, ast.InList)
+        assert len(expr.items) == 3
+
+    def test_not_in_subquery(self):
+        expr = parse(
+            "SELECT a FROM t WHERE x NOT IN (SELECT y FROM u)").where
+        assert isinstance(expr, ast.InSubquery) and expr.negated
+
+    def test_between(self):
+        expr = parse("SELECT a FROM t WHERE x BETWEEN 1 AND 10").where
+        assert isinstance(expr, ast.Between)
+
+    def test_like(self):
+        expr = parse("SELECT a FROM t WHERE name LIKE 'A%'").where
+        assert isinstance(expr, ast.Like)
+
+    def test_exists(self):
+        expr = parse(
+            "SELECT a FROM t WHERE EXISTS (SELECT 1 FROM u)").where
+        assert isinstance(expr, ast.Exists)
+
+    def test_scalar_subquery(self):
+        expr = self._expr("(SELECT MAX(x) FROM t)")
+        assert isinstance(expr, ast.ScalarSubquery)
+
+    def test_case_searched(self):
+        expr = self._expr("CASE WHEN x > 0 THEN 'pos' ELSE 'neg' END")
+        assert isinstance(expr, ast.Case)
+        assert expr.operand is None
+
+    def test_case_simple(self):
+        expr = self._expr("CASE x WHEN 1 THEN 'one' END")
+        assert expr.operand is not None
+
+    def test_case_requires_when(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT CASE END")
+
+    def test_count_star(self):
+        expr = self._expr("COUNT(*)")
+        assert isinstance(expr, ast.FunctionCall)
+        assert isinstance(expr.args[0], ast.Star)
+
+    def test_count_distinct(self):
+        expr = self._expr("COUNT(DISTINCT x)")
+        assert expr.distinct
+
+    def test_scalar_function(self):
+        expr = self._expr("UPPER(name)")
+        assert expr.name == "UPPER"
+
+    def test_params_numbered_left_to_right(self):
+        statement = parse("SELECT a FROM t WHERE x = ? AND y = ?")
+        conjuncts = statement.where
+        assert conjuncts.left.right.index == 0
+        assert conjuncts.right.right.index == 1
+
+    def test_string_concat(self):
+        expr = self._expr("'a' || 'b'")
+        assert expr.op == "||"
+
+    def test_boolean_literals(self):
+        assert self._expr("TRUE").value is True
+        assert self._expr("NULL").value is None
+
+
+class TestDml:
+    def test_insert_values(self):
+        statement = parse("INSERT INTO t VALUES (1, 'x'), (2, 'y')")
+        assert isinstance(statement, ast.Insert)
+        assert len(statement.rows) == 2
+        assert statement.columns is None
+
+    def test_insert_with_columns(self):
+        statement = parse("INSERT INTO t (a, b) VALUES (1, 2)")
+        assert statement.columns == ["a", "b"]
+
+    def test_insert_select(self):
+        statement = parse("INSERT INTO t SELECT a FROM u")
+        assert statement.select is not None
+
+    def test_insert_requires_values_or_select(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("INSERT INTO t")
+
+    def test_update(self):
+        statement = parse("UPDATE t SET a = 1, b = b + 1 WHERE id = 3")
+        assert isinstance(statement, ast.Update)
+        assert len(statement.assignments) == 2
+
+    def test_delete(self):
+        statement = parse("DELETE FROM t WHERE a < 0")
+        assert isinstance(statement, ast.Delete)
+
+    def test_delete_without_where(self):
+        assert parse("DELETE FROM t").where is None
+
+
+class TestDdlAndTransactions:
+    def test_create_table(self):
+        statement = parse(
+            "CREATE TABLE t (id INT PRIMARY KEY, name VARCHAR(40) NOT NULL)")
+        assert isinstance(statement, ast.CreateTable)
+        assert statement.columns[0].primary_key
+        assert statement.columns[1].not_null
+
+    def test_create_table_if_not_exists(self):
+        assert parse("CREATE TABLE IF NOT EXISTS t (a INT)").if_not_exists
+
+    def test_table_level_primary_key(self):
+        statement = parse("CREATE TABLE t (a INT, b INT, PRIMARY KEY (a, b))")
+        assert statement.primary_key == ["a", "b"]
+
+    def test_create_unique_index(self):
+        statement = parse("CREATE UNIQUE INDEX i ON t (a)")
+        assert isinstance(statement, ast.CreateIndex)
+        assert statement.unique
+
+    def test_drop_table_if_exists(self):
+        statement = parse("DROP TABLE IF EXISTS t")
+        assert isinstance(statement, ast.DropTable)
+        assert statement.if_exists
+
+    def test_drop_index(self):
+        assert isinstance(parse("DROP INDEX i"), ast.DropIndex)
+
+    def test_transactions(self):
+        assert isinstance(parse("BEGIN"), ast.BeginTransaction)
+        assert isinstance(parse("COMMIT WORK"), ast.Commit)
+        assert isinstance(parse("ROLLBACK TRANSACTION"), ast.Rollback)
+
+    def test_script_parsing(self):
+        statements = parse_script(
+            "CREATE TABLE t (a INT); INSERT INTO t VALUES (1); "
+            "SELECT * FROM t;")
+        assert len(statements) == 3
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT a FROM t garbage extra ,")
+
+    def test_unknown_statement(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("VACUUM t")
+
+    def test_explain_parses(self):
+        statement = parse("EXPLAIN SELECT 1")
+        assert isinstance(statement, ast.Explain)

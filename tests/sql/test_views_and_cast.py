@@ -1,0 +1,127 @@
+"""Views and CAST."""
+
+import datetime
+
+import pytest
+
+from repro.errors import CatalogError, SqlTypeError
+from repro.sql.engine import Database
+
+
+@pytest.fixture()
+def db():
+    db = Database("v", dialect="oracle")
+    db.execute("CREATE TABLE orders (id INT PRIMARY KEY, customer "
+               "VARCHAR2(30), amount NUMBER, placed DATE)")
+    db.executemany(
+        "INSERT INTO orders VALUES (?, ?, ?, ?)",
+        [[1, "alice", 120.0, "1998-01-05"],
+         [2, "bob", 80.0, "1998-02-01"],
+         [3, "alice", 40.0, "1998-02-20"],
+         [4, "carol", 300.0, "1998-03-10"]])
+    return db
+
+
+class TestViews:
+    def test_view_filters(self, db):
+        db.execute("CREATE VIEW big AS SELECT * FROM orders "
+                   "WHERE amount >= 100")
+        result = db.execute("SELECT id FROM big ORDER BY id")
+        assert [r[0] for r in result.rows] == [1, 4]
+
+    def test_view_projects_and_renames(self, db):
+        db.execute("CREATE VIEW totals AS SELECT customer, "
+                   "SUM(amount) AS total FROM orders GROUP BY customer")
+        result = db.execute(
+            "SELECT customer FROM totals WHERE total > 100 ORDER BY 1")
+        assert [r[0] for r in result.rows] == ["alice", "carol"]
+
+    def test_view_reflects_base_changes(self, db):
+        db.execute("CREATE VIEW big AS SELECT id FROM orders "
+                   "WHERE amount >= 100")
+        db.execute("INSERT INTO orders VALUES (5, 'dan', 999.0, "
+                   "'1998-04-01')")
+        assert db.execute("SELECT COUNT(*) FROM big").scalar() == 3
+
+    def test_view_over_view(self, db):
+        db.execute("CREATE VIEW big AS SELECT * FROM orders "
+                   "WHERE amount >= 100")
+        db.execute("CREATE VIEW big_alice AS SELECT * FROM big "
+                   "WHERE customer = 'alice'")
+        assert db.execute("SELECT COUNT(*) FROM big_alice").scalar() == 1
+
+    def test_view_joins_with_table(self, db):
+        db.execute("CREATE VIEW big AS SELECT id, customer FROM orders "
+                   "WHERE amount >= 100")
+        result = db.execute(
+            "SELECT b.customer, o.amount FROM big b "
+            "JOIN orders o ON b.id = o.id ORDER BY o.amount")
+        assert result.rows == [("alice", 120.0), ("carol", 300.0)]
+
+    def test_view_with_alias(self, db):
+        db.execute("CREATE VIEW big AS SELECT id FROM orders "
+                   "WHERE amount >= 100")
+        assert db.execute(
+            "SELECT v.id FROM big v WHERE v.id = 4").scalar() == 4
+
+    def test_view_name_conflicts(self, db):
+        db.execute("CREATE VIEW big AS SELECT id FROM orders")
+        with pytest.raises(CatalogError):
+            db.execute("CREATE VIEW big AS SELECT id FROM orders")
+        with pytest.raises(CatalogError):
+            db.execute("CREATE TABLE big (x INT)")
+        with pytest.raises(CatalogError):
+            db.execute("CREATE VIEW orders AS SELECT 1")
+
+    def test_drop_view(self, db):
+        db.execute("CREATE VIEW big AS SELECT id FROM orders")
+        assert db.view_names() == ["big"]
+        db.execute("DROP VIEW big")
+        assert db.view_names() == []
+        with pytest.raises(CatalogError):
+            db.execute("SELECT * FROM big")
+
+    def test_drop_view_if_exists(self, db):
+        db.execute("DROP VIEW IF EXISTS ghost")
+        with pytest.raises(CatalogError):
+            db.execute("DROP VIEW ghost")
+
+    def test_view_of_union(self, db):
+        db.execute("CREATE VIEW ends AS SELECT id FROM orders WHERE id = 1 "
+                   "UNION SELECT id FROM orders WHERE id = 4")
+        assert db.execute("SELECT COUNT(*) FROM ends").scalar() == 2
+
+
+class TestCast:
+    def scalar(self, db, expression):
+        return db.execute(f"SELECT {expression}").scalar()
+
+    def test_string_to_int(self, db):
+        assert self.scalar(db, "CAST('42' AS INT)") == 42
+
+    def test_int_to_text(self, db):
+        assert self.scalar(db, "CAST(7 AS VARCHAR(3))") == "7"
+
+    def test_string_to_date(self, db):
+        assert self.scalar(db, "CAST('1998-06-01' AS DATE)") == \
+            datetime.date(1998, 6, 1)
+
+    def test_cast_null(self, db):
+        assert self.scalar(db, "CAST(NULL AS INT)") is None
+
+    def test_cast_forces_real_division(self, db):
+        assert self.scalar(db, "CAST(1 AS REAL) / 2") == 0.5
+
+    def test_cast_column(self, db):
+        result = db.execute(
+            "SELECT CAST(amount AS INT) FROM orders WHERE id = 2")
+        assert result.scalar() == 80
+
+    def test_invalid_cast_raises(self, db):
+        with pytest.raises(SqlTypeError):
+            self.scalar(db, "CAST('nope' AS INT)")
+
+    def test_cast_in_where(self, db):
+        result = db.execute(
+            "SELECT id FROM orders WHERE CAST(id AS VARCHAR(2)) = '3'")
+        assert result.scalar() == 3

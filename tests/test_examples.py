@@ -1,0 +1,52 @@
+"""Smoke tests: every shipped example runs cleanly end to end."""
+
+import contextlib
+import io
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+sys.path.insert(0, str(EXAMPLES_DIR))
+
+
+def run_example(module_name: str) -> str:
+    module = __import__(module_name)
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        module.main()
+    return buffer.getvalue()
+
+
+class TestExamples:
+    def test_quickstart(self):
+        output = run_example("quickstart")
+        assert "Deployed federation" in output
+        assert "Research" in output
+        assert "GIOP messages" in output
+
+    def test_healthcare_tour(self):
+        output = run_example("healthcare_tour")
+        assert "Display Coalitions With Information Medical Research" in output
+        assert "SELECT a.Funding FROM ResearchProjects a" in output
+        assert "Medical_to_MedicalInsurance" in output
+        assert "StudentId" in output
+
+    def test_federation_admin(self):
+        output = run_example("federation_admin")
+        assert "Allied Health" in output
+        assert "TravelClinic_to_PhysioPractice" in output
+        assert "physiotherapy" in output
+
+    def test_scalability_study(self):
+        output = run_example("scalability_study")
+        assert "Per-query discovery cost" in output
+        assert "global-schema comparisons" in output
+
+    def test_middleware_demo(self):
+        output = run_example("middleware_demo")
+        assert "stringified IOR" in output
+        assert "GIOP request frame" in output
+        assert "cities():" in output
