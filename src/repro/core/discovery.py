@@ -19,10 +19,20 @@ exploration of co-databases:
 Every co-database consulted and every metadata call is counted; the
 scalability benchmarks (S1) compare these counts against the broadcast
 baseline.
+
+Consultations within one BFS depth are independent — remote
+co-databases are autonomous servers — so the engine can fan them out
+concurrently (``parallel=True``) on a bounded thread pool.  Fetching
+(remote I/O) is separated from merging (scoring, dedup, tracing, cost
+accounting), and merges always happen in frontier order, so the
+parallel engine returns *byte-identical* results to the sequential
+one; only wall-clock differs.
 """
 
 from __future__ import annotations
 
+import threading
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
@@ -31,6 +41,10 @@ from repro.core.model import topic_score
 from repro.core.service_link import ServiceLink
 from repro.errors import DiscoveryFailure, ReproError
 from repro.orb.orb import Proxy
+
+#: Fan-out thread cap when ``max_workers`` is left unset: scaled to the
+#: frontier, never beyond this.
+DEFAULT_MAX_WORKERS = 16
 
 
 class CoDatabaseClient:
@@ -54,6 +68,11 @@ class CoDatabaseClient:
     @classmethod
     def for_proxy(cls, proxy: Proxy, name: str) -> "CoDatabaseClient":
         return cls(proxy, name)
+
+    @property
+    def target(self) -> CoDatabase | Proxy:
+        """The wrapped co-database or proxy (for cache wrappers)."""
+        return self._target
 
     def _call(self, operation: str, *args: Any) -> Any:
         self.calls += 1
@@ -143,6 +162,10 @@ class DiscoveryResult:
     #: Databases whose co-databases could not be reached (autonomous
     #: sources leave at their own discretion; resolution continues).
     unreachable: list[str] = field(default_factory=list)
+    #: Metadata-cache accounting for this resolution (both stay zero
+    #: when no cache is wired in front of the co-database clients).
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     @property
     def resolved(self) -> bool:
@@ -155,20 +178,62 @@ class DiscoveryResult:
         return self.leads[0]
 
 
+@dataclass
+class _Consultation:
+    """Raw metadata one worker fetched from one frontier co-database.
+
+    Fetch and merge are separate phases: workers only gather, the
+    caller merges in frontier order — that split is what keeps the
+    parallel engine deterministic.
+    """
+
+    client: Optional[CoDatabaseClient] = None
+    matches: list[dict[str, Any]] = field(default_factory=list)
+    links: list[ServiceLink] = field(default_factory=list)
+    neighbors: list[str] = field(default_factory=list)
+    error: Optional[ReproError] = None
+
+
 class DiscoveryEngine:
     """Breadth-first resolution across co-databases.
 
     *resolver* maps a database name to a :class:`CoDatabaseClient`;
     the deployed system backs it with naming-service lookups and CORBA
     proxies, tests may back it with local co-databases directly.
+
+    With *parallel* set, every frontier's consultations run
+    concurrently on a bounded thread pool (*max_workers*, default
+    scaled to the frontier size, capped at
+    :data:`DEFAULT_MAX_WORKERS`).  Results are merged in frontier
+    order, so leads, traces, and counters are identical to the
+    sequential engine's; ``stop_at_first`` still takes effect at the
+    depth boundary, after which no further depth is scheduled.
     """
 
     def __init__(self, resolver: Callable[[str], CoDatabaseClient],
                  match_threshold: float = 0.5,
-                 full_match_score: float = 0.999):
+                 full_match_score: float = 0.999,
+                 parallel: bool = False,
+                 max_workers: Optional[int] = None):
         self._resolve = resolver
         self._threshold = match_threshold
         self._full_match = full_match_score
+        self._parallel = parallel
+        self._max_workers = max_workers
+        #: Lazily-created, engine-lifetime worker pool.  Threads are
+        #: spawned on demand (so the pool scales with actual frontier
+        #: sizes, capped at max_workers) and reused across depths and
+        #: discover() calls — per-depth pool creation would cost more
+        #: than the fan-out saves on fast networks.
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._executor_guard = threading.Lock()
+
+    def close(self) -> None:
+        """Release the fan-out worker pool (no-op when sequential)."""
+        with self._executor_guard:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=False)
 
     def discover(self, query: str, start_database: str,
                  max_hops: int = 6,
@@ -196,26 +261,27 @@ class DiscoveryEngine:
         while frontier and depth <= max_hops:
             max_depth_reached = depth
             next_frontier: list[tuple[str, list[str]]] = []
-            for database_name, path in frontier:
-                try:
-                    client = self._resolve(database_name)
-                    clients.append(client)
+            consultations = self._consult_frontier(frontier, query, depth)
+            for (database_name, path), outcome in zip(frontier,
+                                                      consultations):
+                if outcome.client is not None:
+                    clients.append(outcome.client)
                     trace.append(
                         f"[depth {depth}] consulting co-database of "
                         f"{database_name!r}")
-                    links = self._examine(client, query, path, leads,
-                                          seen_leads, trace)
-                except ReproError as exc:
+                if outcome.error is not None:
                     # Sources join and leave at their own discretion
                     # (§2.1); a vanished or failing co-database must not
                     # abort resolution — skip it and keep exploring.
                     if depth == 0:
-                        raise  # the user's own repository is required
+                        raise outcome.error  # the user's own repository
                     unreachable.append(database_name)
                     trace.append(
                         f"[depth {depth}] co-database of "
-                        f"{database_name!r} unreachable: {exc}")
+                        f"{database_name!r} unreachable: {outcome.error}")
                     continue
+                links = self._merge(outcome, query, path, leads,
+                                    seen_leads, trace)
                 if depth == 0:
                     # The paper's courtesy check: "WebFINDIT checks
                     # whether other databases from the local coalition
@@ -224,7 +290,7 @@ class DiscoveryEngine:
                     # coalition share the same coalition metadata, so
                     # beyond the local cluster only service links
                     # route the query onward.
-                    for neighbor in client.neighbor_databases():
+                    for neighbor in outcome.neighbors:
                         if neighbor not in visited:
                             visited.add(neighbor)
                             next_frontier.append((neighbor,
@@ -252,19 +318,67 @@ class DiscoveryEngine:
             metadata_calls=sum(client.calls for client in clients),
             max_depth_reached=max_depth_reached,
             trace=trace,
-            unreachable=unreachable)
+            unreachable=unreachable,
+            cache_hits=sum(getattr(client, "cache_hits", 0)
+                           for client in clients),
+            cache_misses=sum(getattr(client, "cache_misses", 0)
+                             for client in clients))
 
     # -- internals ---------------------------------------------------------------
 
-    def _examine(self, client: CoDatabaseClient, query: str, path: list[str],
-                 leads: list[CoalitionLead], seen: set[str],
-                 trace: list[str]) -> list[ServiceLink]:
-        """Check one co-database for coalition and link leads.
+    def _consult_frontier(self, frontier: list[tuple[str, list[str]]],
+                          query: str, depth: int) -> list[_Consultation]:
+        """Fetch raw metadata from every frontier co-database.
 
-        Returns the service links it knows, so the caller can route the
-        query onward along them.
+        Sequential and parallel modes return the same list in the same
+        (frontier) order; parallelism only overlaps the remote I/O.
         """
-        for match in client.find_coalitions(query):
+        if not self._parallel or len(frontier) < 2:
+            return [self._consult(name, query, depth)
+                    for name, __ in frontier]
+        pool = self._ensure_executor()
+        futures = [pool.submit(self._consult, name, query, depth)
+                   for name, __ in frontier]
+        # Collect in submission order, not completion order.
+        return [future.result() for future in futures]
+
+    def _ensure_executor(self) -> ThreadPoolExecutor:
+        with self._executor_guard:
+            if self._executor is None:
+                workers = max(1, self._max_workers or DEFAULT_MAX_WORKERS)
+                self._executor = ThreadPoolExecutor(
+                    max_workers=workers, thread_name_prefix="discovery")
+            return self._executor
+
+    def _consult(self, database_name: str, query: str,
+                 depth: int) -> _Consultation:
+        """Fetch one co-database's answers (runs on a worker thread)."""
+        outcome = _Consultation()
+        try:
+            client = self._resolve(database_name)
+        except ReproError as exc:
+            outcome.error = exc
+            return outcome
+        outcome.client = client
+        try:
+            outcome.matches = client.find_coalitions(query)
+            outcome.links = client.service_links()
+            if depth == 0:
+                outcome.neighbors = client.neighbor_databases()
+        except ReproError as exc:
+            outcome.error = exc
+        return outcome
+
+    def _merge(self, outcome: _Consultation, query: str, path: list[str],
+               leads: list[CoalitionLead], seen: set[str],
+               trace: list[str]) -> list[ServiceLink]:
+        """Fold one consultation into the shared lead/trace state.
+
+        Always runs on the coordinating thread, in frontier order.
+        Returns the service links the co-database knows, so the caller
+        can route the query onward along them.
+        """
+        for match in outcome.matches:
             key = f"coalition:{match['name']}"
             if key in seen:
                 continue
@@ -278,7 +392,7 @@ class DiscoveryEngine:
             trace.append(
                 f"    coalition {match['name']!r} matches "
                 f"(score {match.get('score', 0):.2f})")
-        links = client.service_links()
+        links = outcome.links
         for link in links:
             score = max(topic_score(query, link.information_type),
                         topic_score(query, link.to_name),

@@ -1,0 +1,181 @@
+"""Co-database metadata caching (hot-path optimisation for discovery).
+
+Discovery is read-dominated: every resolution asks frontier
+co-databases the same handful of questions (``find_coalitions``,
+``service_links``, ``memberships``, ``known_coalitions``), and the
+answers only change when the registry mutates the information space —
+a join, a leave, a new service link.  :class:`MetadataCache` keeps
+those answers for a bounded TTL and is *explicitly invalidated* by the
+registry's mutation hooks (see
+:meth:`repro.core.registry.Registry.add_invalidation_listener`), so a
+cached entry can be stale for at most the TTL even if a mutation slips
+past the hooks.
+
+:class:`CachingCoDatabaseClient` is a drop-in
+:class:`~repro.core.discovery.CoDatabaseClient` that consults a shared
+cache before crossing the ORB.  Hits are counted per client and
+surfaced in :class:`~repro.core.discovery.DiscoveryResult` — the S1/S2
+benches read them — and never increment :attr:`calls`, because no
+remote metadata call happened.
+
+Coherence rules (documented in ``docs/discovery.md``):
+
+* only the four read-heavy operations above are ever cached — metadata
+  *about a specific lead* (``describe_instance``, ``documents_of``, …)
+  always goes to the authoritative co-database;
+* a registry mutation invalidates every cached entry of every
+  co-database it wrote to (the mutation's *audience*), not the whole
+  cache;
+* entries expire after ``ttl`` seconds regardless, bounding staleness
+  for out-of-band mutations (autonomous sources may change without
+  telling the registry).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Iterable, Optional
+
+from repro.core.discovery import CoDatabaseClient
+
+#: The read-heavy co-database operations worth caching.  Everything
+#: else (instance descriptions, documents, subclass walks) stays
+#: uncached: those answers feed user-facing detail views, not the
+#: discovery hot path.
+CACHEABLE_OPERATIONS = frozenset({
+    "find_coalitions", "service_links", "memberships", "known_coalitions"})
+
+_Key = tuple[str, str, tuple]
+
+
+class MetadataCache:
+    """A TTL + explicit-invalidation cache over co-database reads.
+
+    Thread-safe: parallel discovery fan-out hits it from many worker
+    threads at once.  *clock* is injectable so tests can advance time
+    without sleeping.
+    """
+
+    def __init__(self, ttl: float = 30.0, max_entries: int = 4096,
+                 clock: Callable[[], float] = time.monotonic):
+        self.ttl = ttl
+        self.max_entries = max_entries
+        self._clock = clock
+        self._entries: dict[_Key, tuple[float, Any]] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self.expirations = 0
+
+    def lookup(self, database: str, operation: str,
+               args: tuple) -> tuple[bool, Any]:
+        """``(True, value)`` on a live hit, ``(False, None)`` otherwise."""
+        key = (database, operation, args)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return False, None
+            expires, value = entry
+            if self._clock() >= expires:
+                del self._entries[key]
+                self.expirations += 1
+                self.misses += 1
+                return False, None
+            self.hits += 1
+            return True, value
+
+    def store(self, database: str, operation: str, args: tuple,
+              value: Any) -> None:
+        key = (database, operation, args)
+        with self._lock:
+            while len(self._entries) >= self.max_entries:
+                # Evict the oldest insertion (dicts preserve order).
+                self._entries.pop(next(iter(self._entries)))
+            self._entries[key] = (self._clock() + self.ttl, value)
+
+    def invalidate(self, databases: Iterable[str] | str) -> None:
+        """Drop every cached entry for the given co-database owner(s).
+
+        This is the listener signature
+        :meth:`~repro.core.registry.Registry.add_invalidation_listener`
+        expects, so a cache can be wired to a registry directly.
+        """
+        if isinstance(databases, str):
+            databases = (databases,)
+        affected = set(databases)
+        with self._lock:
+            doomed = [key for key in self._entries if key[0] in affected]
+            for key in doomed:
+                del self._entries[key]
+            self.invalidations += len(doomed)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {"hits": self.hits, "misses": self.misses,
+                    "invalidations": self.invalidations,
+                    "expirations": self.expirations,
+                    "entries": len(self._entries)}
+
+
+class CachingCoDatabaseClient(CoDatabaseClient):
+    """A co-database client that answers cacheable reads from a shared
+    :class:`MetadataCache` instead of crossing the ORB.
+
+    Per-client hit/miss counters feed
+    :class:`~repro.core.discovery.DiscoveryResult`; the shared cache
+    accumulates federation-wide totals.  Cache hits do not increment
+    :attr:`calls` — that counter is the *remote* metadata-call currency
+    of the S1 benches.
+    """
+
+    def __init__(self, target: Any, name: str, cache: MetadataCache):
+        super().__init__(target, name)
+        self._cache = cache
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    @classmethod
+    def wrapping(cls, client: CoDatabaseClient,
+                 cache: MetadataCache) -> "CachingCoDatabaseClient":
+        """Wrap an existing client (same target, same name)."""
+        return cls(client.target, client.name, cache)
+
+    def _call(self, operation: str, *args: Any) -> Any:
+        if operation not in CACHEABLE_OPERATIONS:
+            return super()._call(operation, *args)
+        hit, value = self._cache.lookup(self.name, operation, args)
+        if hit:
+            self.cache_hits += 1
+            return value
+        self.cache_misses += 1
+        value = super()._call(operation, *args)
+        self._cache.store(self.name, operation, args, value)
+        return value
+
+
+def caching_resolver(resolver: Callable[[str], CoDatabaseClient],
+                     cache: Optional[MetadataCache]
+                     ) -> Callable[[str], CoDatabaseClient]:
+    """Wrap *resolver* so every client it yields consults *cache*.
+
+    With ``cache=None`` the resolver is returned unchanged, letting
+    callers keep one code path for both configurations.
+    """
+    if cache is None:
+        return resolver
+
+    def resolve(name: str) -> CoDatabaseClient:
+        return CachingCoDatabaseClient.wrapping(resolver(name), cache)
+
+    return resolve

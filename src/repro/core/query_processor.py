@@ -74,12 +74,16 @@ class QueryProcessor:
                  resolver: Callable[[str], CoDatabaseClient],
                  wrapper_for: Callable[[str], InformationSourceInterface],
                  registry: Optional[Registry] = None,
-                 match_threshold: float = 0.5):
+                 match_threshold: float = 0.5,
+                 parallel: bool = False,
+                 max_workers: Optional[int] = None):
         self._resolver = resolver
         self._wrapper_for = wrapper_for
         self._registry = registry
         self.discovery = DiscoveryEngine(resolver,
-                                         match_threshold=match_threshold)
+                                         match_threshold=match_threshold,
+                                         parallel=parallel,
+                                         max_workers=max_workers)
         #: Statements processed (Figure-3 layer accounting).
         self.statements_processed = 0
 

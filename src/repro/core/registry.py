@@ -22,7 +22,7 @@ write — the currency of benches S2/S3.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Optional
+from typing import Callable, Iterable, Optional
 
 from repro.core.coalition import Coalition
 from repro.core.codatabase import CoDatabase
@@ -46,6 +46,29 @@ class Registry:
         #: Count of individual co-database writes — the maintenance-cost
         #: currency reported by benches S2/S3.
         self.update_operations = 0
+        #: Called with the set of database names whose co-databases a
+        #: mutation just wrote to; metadata caches subscribe here.
+        self._invalidation_listeners: \
+            list[Callable[[frozenset[str]], None]] = []
+
+    # --------------------------------------------------------- invalidation --
+
+    def add_invalidation_listener(
+            self, listener: Callable[[frozenset[str]], None]) -> None:
+        """Subscribe to co-database mutations.
+
+        *listener* receives the names of every database whose
+        co-database content just changed — exactly the entries a
+        metadata cache must drop to stay coherent.
+        """
+        self._invalidation_listeners.append(listener)
+
+    def _notify(self, names: Iterable[str]) -> None:
+        affected = frozenset(name for name in names if name)
+        if not affected:
+            return
+        for listener in self._invalidation_listeners:
+            listener(affected)
 
     # ------------------------------------------------------------- sources --
 
@@ -61,6 +84,7 @@ class Registry:
         self._sources[description.name] = description
         self._codatabases[description.name] = codatabase
         self.update_operations += 1
+        self._notify([description.name])
         return codatabase
 
     def advertise(self, description: SourceDescription) -> CoDatabase:
@@ -72,6 +96,7 @@ class Registry:
         codatabase = self._codatabases[description.name]
         codatabase.advertise(description)
         self.update_operations += 1
+        touched = {description.name}
         for coalition_name in list(codatabase.memberships):
             coalition = self._coalitions.get(coalition_name)
             if coalition is None:
@@ -81,6 +106,8 @@ class Registry:
                 member_codb.remove_member(coalition_name, description.name)
                 member_codb.add_member(coalition_name, description)
                 self.update_operations += 1
+                touched.add(member_name)
+        self._notify(touched)
         return codatabase
 
     def source(self, name: str) -> SourceDescription:
@@ -109,6 +136,7 @@ class Registry:
         del self._sources[name]
         del self._codatabases[name]
         self.update_operations += 1
+        self._notify([name])
 
     # ------------------------------------------------------------ coalitions --
 
@@ -130,6 +158,7 @@ class Registry:
             # class lattice stays browsable from their co-databases.
             for member in self._coalitions[parent].members:
                 self._register_lattice(self._codatabases[member], coalition)
+            self._notify(self._coalitions[parent].members)
         return coalition
 
     def coalition(self, name: str) -> Coalition:
@@ -207,6 +236,7 @@ class Registry:
             member_codb = self._codatabases[member_name]
             member_codb.add_member(coalition_name, description)
             self.update_operations += 1
+        self._notify(coalition.members)
 
     def leave(self, database_name: str, coalition_name: str) -> None:
         """Remove a database from a coalition, updating all co-databases."""
@@ -222,6 +252,7 @@ class Registry:
             self._codatabases[member_name].remove_member(coalition_name,
                                                          database_name)
             self.update_operations += 1
+        self._notify([database_name, *coalition.members])
 
     # ------------------------------------------------------------ service links --
 
@@ -268,9 +299,11 @@ class Registry:
                for existing in self._links):
             raise WebFinditError(f"service link {link.label} already exists")
         self._links.append(link)
-        for codatabase in self._link_audience(link):
+        audience = self._link_audience(link)
+        for codatabase in audience:
             codatabase.add_service_link(link)
             self.update_operations += 1
+        self._notify(codb.owner_name for codb in audience)
 
     def remove_service_link(self, link: ServiceLink) -> None:
         stored = next((existing for existing in self._links
@@ -280,9 +313,11 @@ class Registry:
         if stored is None:
             raise WebFinditError(f"no service link {link.label}")
         self._links.remove(stored)
-        for codatabase in self._link_audience(stored):
+        audience = self._link_audience(stored)
+        for codatabase in audience:
             codatabase.remove_service_link(stored)
             self.update_operations += 1
+        self._notify(codb.owner_name for codb in audience)
 
     def service_links(self) -> list[ServiceLink]:
         return list(self._links)
@@ -295,6 +330,7 @@ class Registry:
         self.codatabase(source_name).attach_document(source_name, format_name,
                                                      content, url)
         self.update_operations += 1
+        self._notify([source_name])
 
     # ------------------------------------------------------------- summary --
 

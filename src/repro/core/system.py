@@ -30,6 +30,7 @@ from typing import Optional
 from repro.core.browser import Browser
 from repro.core.codatabase import CODATABASE_INTERFACE, CoDatabaseServant
 from repro.core.discovery import CoDatabaseClient
+from repro.core.metacache import CachingCoDatabaseClient, MetadataCache
 from repro.core.model import Ontology, SourceDescription
 from repro.core.query_processor import QueryProcessor, Session
 from repro.core.registry import Registry
@@ -65,11 +66,23 @@ class WebFinditSystem:
     """A running WebFINDIT federation."""
 
     def __init__(self, transport: Optional[Transport] = None,
-                 ontology: Optional[Ontology] = None):
+                 ontology: Optional[Ontology] = None,
+                 metadata_cache: Optional[MetadataCache] = None,
+                 parallel_discovery: bool = False,
+                 discovery_workers: Optional[int] = None):
         self.transport = transport if transport is not None \
             else InMemoryNetwork()
         self.ontology = ontology
+        #: Hot-path knobs: a shared TTL cache over co-database reads
+        #: (invalidated by registry mutations) and concurrent frontier
+        #: fan-out in every DiscoveryEngine this system hands out.
+        self.metadata_cache = metadata_cache
+        self.parallel_discovery = parallel_discovery
+        self.discovery_workers = discovery_workers
         self.registry = Registry(ontology=ontology)
+        if metadata_cache is not None:
+            self.registry.add_invalidation_listener(
+                metadata_cache.invalidate)
         self._orbs: dict[str, Orb] = {}
         self._system_orb = Orb(name="webfindit-system",
                                transport=self.transport,
@@ -227,6 +240,9 @@ class WebFinditSystem:
             raise UnknownDatabase(
                 f"no co-database bound for {database_name!r}") from exc
         proxy = self._client_orb().proxy(ior, CODATABASE_INTERFACE)
+        if self.metadata_cache is not None:
+            return CachingCoDatabaseClient(proxy, database_name,
+                                           self.metadata_cache)
         return CoDatabaseClient.for_proxy(proxy, database_name)
 
     def wrapper_client(self, database_name: str) -> InformationSourceInterface:
@@ -261,7 +277,9 @@ class WebFinditSystem:
         return QueryProcessor(resolver=self.codatabase_client,
                               wrapper_for=self.wrapper_client,
                               registry=self.registry,
-                              match_threshold=match_threshold)
+                              match_threshold=match_threshold,
+                              parallel=self.parallel_discovery,
+                              max_workers=self.discovery_workers)
 
     def browser(self, home_database: str) -> Browser:
         """An interactive session for a user of *home_database*."""
@@ -291,6 +309,8 @@ class WebFinditSystem:
             "giop_bytes_sent": getattr(transport_metrics, "bytes_sent", 0),
             "orbs": orb_stats,
             "registry_updates": self.registry.update_operations,
+            "metadata_cache": (self.metadata_cache.stats()
+                               if self.metadata_cache is not None else None),
         }
 
     def reset_metrics(self) -> None:

@@ -8,7 +8,11 @@ Two interchangeable transports:
   exercised) while message and byte counters accumulate for the
   scalability benchmarks.
 * :class:`TcpTransport` — real IIOP-over-TCP on the loopback interface,
-  framing messages with the GIOP header's size field.
+  framing messages with the GIOP header's size field.  Connections are
+  kept alive and pooled per endpoint by default (CORBA 2.0 permits
+  either connection reuse or per-call connections); pass
+  ``pooled=False`` for the per-call behaviour benchmarks use as a
+  baseline.
 
 Both expose the same two operations: ``register`` a server endpoint and
 ``send`` a request to an endpoint, returning the reply bytes.
@@ -19,6 +23,8 @@ from __future__ import annotations
 import socket
 import socketserver
 import threading
+import time
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
@@ -34,25 +40,48 @@ Endpoint = tuple[str, int]
 
 @dataclass
 class TransportMetrics:
-    """Counters accumulated by a transport, consumed by benchmarks."""
+    """Counters accumulated by a transport, consumed by benchmarks.
+
+    Transports serve many client threads at once (``ThreadingTCPServer``
+    on the server side, parallel discovery fan-out on the client side),
+    so every update happens under one lock — unlocked ``+=`` on these
+    counters loses increments under contention.
+    """
 
     messages_sent: int = 0
     bytes_sent: int = 0
     bytes_received: int = 0
     per_endpoint: dict[Endpoint, int] = field(default_factory=dict)
+    #: TCP connection accounting (always zero on the in-memory fabric).
+    connections_opened: int = 0
+    connections_reused: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False, compare=False)
 
     def record(self, endpoint: Endpoint, request_size: int,
                reply_size: int) -> None:
-        self.messages_sent += 1
-        self.bytes_sent += request_size
-        self.bytes_received += reply_size
-        self.per_endpoint[endpoint] = self.per_endpoint.get(endpoint, 0) + 1
+        with self._lock:
+            self.messages_sent += 1
+            self.bytes_sent += request_size
+            self.bytes_received += reply_size
+            self.per_endpoint[endpoint] = \
+                self.per_endpoint.get(endpoint, 0) + 1
+
+    def record_connection(self, reused: bool) -> None:
+        with self._lock:
+            if reused:
+                self.connections_reused += 1
+            else:
+                self.connections_opened += 1
 
     def reset(self) -> None:
-        self.messages_sent = 0
-        self.bytes_sent = 0
-        self.bytes_received = 0
-        self.per_endpoint.clear()
+        with self._lock:
+            self.messages_sent = 0
+            self.bytes_sent = 0
+            self.bytes_received = 0
+            self.per_endpoint.clear()
+            self.connections_opened = 0
+            self.connections_reused = 0
 
 
 class Transport:
@@ -96,7 +125,11 @@ class InMemoryNetwork(Transport):
             self._handlers.pop(endpoint, None)
 
     def send(self, endpoint: Endpoint, data: bytes) -> bytes:
-        handler = self._handlers.get(endpoint)
+        # The lookup must happen under the lock: concurrent
+        # register/unregister during parallel discovery must not let a
+        # sender observe a torn view of the handler table.
+        with self._lock:
+            handler = self._handlers.get(endpoint)
         if handler is None:
             raise CommFailure(f"connection refused: {endpoint!r}")
         reply = handler(data)
@@ -107,7 +140,8 @@ class InMemoryNetwork(Transport):
 
     def endpoints(self) -> list[Endpoint]:
         """Currently bound endpoints."""
-        return list(self._handlers)
+        with self._lock:
+            return list(self._handlers)
 
 
 def _read_exact(connection: socket.socket, count: int) -> bytes:
@@ -131,39 +165,132 @@ def read_giop_frame(connection: socket.socket) -> bytes:
     return header + body
 
 
+def _close_quietly(connection: socket.socket) -> None:
+    try:
+        connection.close()
+    except OSError:  # pragma: no cover - close failures are ignorable
+        pass
+
+
 class _GiopRequestHandler(socketserver.BaseRequestHandler):
+    """Serves one client connection for its lifetime.
+
+    Frames keep arriving on the same socket until the peer closes it
+    (keep-alive IIOP) — pooled clients amortise the TCP handshake over
+    many requests, per-call clients simply close after one frame.
+    """
+
     def handle(self) -> None:
         transport: TcpTransport = self.server.transport  # type: ignore[attr-defined]
-        try:
-            data = read_giop_frame(self.request)
-        except CommFailure:
-            return
         endpoint = self.server.server_address  # type: ignore[attr-defined]
-        handler = transport.handler_for((endpoint[0], endpoint[1]))
-        if handler is None:
-            return
-        reply = handler(data)
-        if reply:
-            self.request.sendall(reply)
+        while True:
+            try:
+                data = read_giop_frame(self.request)
+            except CommFailure:
+                return  # peer closed (or died) between frames
+            handler = transport.handler_for((endpoint[0], endpoint[1]))
+            if handler is None:
+                return
+            if transport.latency > 0:
+                time.sleep(transport.latency)
+            reply = handler(data)
+            if reply:
+                try:
+                    self.request.sendall(reply)
+                except OSError:
+                    return
 
 
 class _GiopServer(socketserver.ThreadingTCPServer):
     allow_reuse_address = True
     daemon_threads = True
+    # Parallel discovery fan-out opens bursts of simultaneous
+    # connections; the socketserver default backlog of 5 drops the
+    # overflow SYNs, stalling clients on kernel retransmit timers.
+    request_queue_size = 64
+
+
+class _ConnectionPool:
+    """Idle keep-alive connections, bounded per endpoint.
+
+    ``checkout`` hands an idle connection to exactly one caller (or
+    None); ``checkin`` returns it, closing it instead when the endpoint
+    already holds ``max_idle`` spares or the pool is closed.
+    """
+
+    def __init__(self, max_idle: int = 8):
+        self.max_idle = max_idle
+        self._idle: dict[Endpoint, deque[socket.socket]] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+
+    def checkout(self, endpoint: Endpoint) -> Optional[socket.socket]:
+        with self._lock:
+            spares = self._idle.get(endpoint)
+            if spares:
+                return spares.popleft()
+        return None
+
+    def checkin(self, endpoint: Endpoint,
+                connection: socket.socket) -> None:
+        with self._lock:
+            if not self._closed:
+                spares = self._idle.setdefault(endpoint, deque())
+                if len(spares) < self.max_idle:
+                    spares.append(connection)
+                    return
+        _close_quietly(connection)
+
+    def idle_count(self, endpoint: Optional[Endpoint] = None) -> int:
+        with self._lock:
+            if endpoint is not None:
+                return len(self._idle.get(endpoint, ()))
+            return sum(len(spares) for spares in self._idle.values())
+
+    def discard(self, endpoint: Endpoint) -> None:
+        """Drop (and close) every idle connection to *endpoint*."""
+        with self._lock:
+            spares = self._idle.pop(endpoint, None)
+        for connection in spares or ():
+            _close_quietly(connection)
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            spares = [connection for queue in self._idle.values()
+                      for connection in queue]
+            self._idle.clear()
+        for connection in spares:
+            _close_quietly(connection)
 
 
 class TcpTransport(Transport):
     """Real IIOP-over-TCP on localhost.
 
-    Each registered endpoint gets its own threaded TCP server.  Clients
-    open a fresh connection per request (CORBA 2.0 permits either
-    connection reuse or per-call connections; per-call keeps this
-    implementation simple and deterministic).
+    Each registered endpoint gets its own threaded TCP server.  By
+    default clients keep connections alive in a per-endpoint pool of at
+    most *pool_size* spares: a request checks a connection out, does its
+    round-trip, and checks it back in, so the steady state costs zero
+    TCP handshakes.  A pooled connection that has gone stale (the server
+    restarted, the peer dropped it) is discarded and the request retried
+    once on a fresh connection.  ``pooled=False`` restores the
+    connect-per-call behaviour, which benches use as the baseline.
     """
 
-    def __init__(self, host: str = "127.0.0.1", timeout: float = 5.0):
+    def __init__(self, host: str = "127.0.0.1", timeout: float = 5.0,
+                 pooled: bool = True, pool_size: int = 8,
+                 latency: float = 0.0):
         self.host = host
         self.timeout = timeout
+        self.pooled = pooled
+        #: Simulated one-way WAN delay (seconds) applied server-side to
+        #: every request.  The paper's federation spans Internet sites;
+        #: loopback is the degenerate zero-latency case, so benches set
+        #: this to model realistic inter-site RTTs.  Sleeping releases
+        #: the GIL, so concurrent requests overlap the delay exactly as
+        #: real network waits would.
+        self.latency = latency
+        self._pool = _ConnectionPool(max_idle=pool_size) if pooled else None
         self._servers: dict[Endpoint, _GiopServer] = {}
         self._handlers: dict[Endpoint, Handler] = {}
         self._lock = threading.RLock()
@@ -187,28 +314,68 @@ class TcpTransport(Transport):
         return bound
 
     def handler_for(self, endpoint: Endpoint) -> Optional[Handler]:
-        return self._handlers.get(endpoint)
+        with self._lock:
+            return self._handlers.get(endpoint)
 
     def unregister(self, endpoint: Endpoint) -> None:
         with self._lock:
             server = self._servers.pop(endpoint, None)
             self._handlers.pop(endpoint, None)
+        if self._pool is not None:
+            self._pool.discard(endpoint)
         if server is not None:
             server.shutdown()
             server.server_close()
 
+    def _roundtrip(self, connection: socket.socket, data: bytes) -> bytes:
+        connection.sendall(data)
+        return read_giop_frame(connection)
+
     def send(self, endpoint: Endpoint, data: bytes) -> bytes:
+        if self._pool is not None:
+            pooled = self._pool.checkout(endpoint)
+            if pooled is not None:
+                try:
+                    reply = self._roundtrip(pooled, data)
+                except (OSError, CommFailure):
+                    # Stale keep-alive connection; fall through to a
+                    # fresh one — the request was not answered, so the
+                    # retry cannot duplicate work on the server.
+                    _close_quietly(pooled)
+                else:
+                    self._pool.checkin(endpoint, pooled)
+                    self.metrics.record_connection(reused=True)
+                    self.metrics.record(endpoint, len(data), len(reply))
+                    return reply
         try:
-            with socket.create_connection(endpoint,
-                                          timeout=self.timeout) as connection:
-                connection.sendall(data)
-                reply = read_giop_frame(connection)
+            connection = socket.create_connection(endpoint,
+                                                  timeout=self.timeout)
         except OSError as exc:
-            raise CommFailure(f"IIOP send to {endpoint!r} failed: {exc}") from exc
+            raise CommFailure(
+                f"IIOP connect to {endpoint!r} failed: {exc}") from exc
+        try:
+            reply = self._roundtrip(connection, data)
+        except (OSError, CommFailure) as exc:
+            _close_quietly(connection)
+            raise CommFailure(
+                f"IIOP send to {endpoint!r} failed: {exc}") from exc
+        if self._pool is not None:
+            self._pool.checkin(endpoint, connection)
+        else:
+            _close_quietly(connection)
+        self.metrics.record_connection(reused=False)
         self.metrics.record(endpoint, len(data), len(reply))
         return reply
 
+    def idle_connections(self, endpoint: Optional[Endpoint] = None) -> int:
+        """Spare pooled connections (for tests and pool tuning)."""
+        if self._pool is None:
+            return 0
+        return self._pool.idle_count(endpoint)
+
     def close(self) -> None:
         """Shut down every server this transport started."""
+        if self._pool is not None:
+            self._pool.close()
         for endpoint in list(self._servers):
             self.unregister(endpoint)

@@ -112,6 +112,76 @@ def test_unknown_topic_never_resolves(topology):
     assert result.leads == []
 
 
+def lead_fingerprint(result):
+    return [(lead.name, lead.score, lead.via, lead.through_link,
+             lead.contact, lead.members) for lead in result.leads]
+
+
+@given(topologies(), st.booleans())
+@settings(max_examples=40, deadline=None)
+def test_parallel_equals_sequential(topology, stop_at_first):
+    """The parallel fan-out engine is an optimisation, not a different
+    algorithm: leads, contact counts, call counts, traces, and
+    unreachable lists are identical to the sequential engine's."""
+    registry, names, databases = build(*topology)
+    sequential = engine_for(registry)
+    parallel = DiscoveryEngine(
+        lambda name: CoDatabaseClient.for_local(registry.codatabase(name)),
+        parallel=True, max_workers=4)
+    try:
+        topics = {registry.coalition(name).information_type
+                  for name in names} | {"nonexistent subject matter"}
+        for topic in sorted(topics):
+            for start in (databases[0], databases[-1]):
+                first = sequential.discover(topic, start, max_hops=10,
+                                            stop_at_first=stop_at_first)
+                second = parallel.discover(topic, start, max_hops=10,
+                                           stop_at_first=stop_at_first)
+                assert lead_fingerprint(first) == lead_fingerprint(second)
+                assert first.codatabases_contacted == \
+                    second.codatabases_contacted
+                assert first.metadata_calls == second.metadata_calls
+                assert first.max_depth_reached == second.max_depth_reached
+                assert first.trace == second.trace
+                assert first.unreachable == second.unreachable
+    finally:
+        parallel.close()
+
+
+@given(topologies())
+@settings(max_examples=20, deadline=None)
+def test_parallel_equals_sequential_with_failures(topology):
+    """Unreachable co-databases are skipped identically in both modes
+    (same unreachable list, same surviving leads)."""
+    from repro.errors import CommFailure
+
+    registry, names, databases = build(*topology)
+    start = databases[0]
+    # Kill every other database except the start (which must answer).
+    dead = {name for index, name in enumerate(databases)
+            if index % 2 == 1 and name != start}
+
+    def resolver(name):
+        if name in dead:
+            raise CommFailure(f"connection refused: {name}")
+        return CoDatabaseClient.for_local(registry.codatabase(name))
+
+    sequential = DiscoveryEngine(resolver)
+    parallel = DiscoveryEngine(resolver, parallel=True, max_workers=4)
+    try:
+        topic = registry.coalition(names[-1]).information_type
+        first = sequential.discover(topic, start, max_hops=10)
+        second = parallel.discover(topic, start, max_hops=10)
+        assert lead_fingerprint(first) == lead_fingerprint(second)
+        assert first.unreachable == second.unreachable
+        assert first.codatabases_contacted == second.codatabases_contacted
+        assert first.metadata_calls == second.metadata_calls
+        assert first.trace == second.trace
+        assert set(first.unreachable) <= dead
+    finally:
+        parallel.close()
+
+
 @given(topologies())
 @settings(max_examples=30, deadline=None)
 def test_leads_sorted_and_deduplicated(topology):

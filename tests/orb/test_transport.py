@@ -1,10 +1,12 @@
 """Transport tests: in-memory fabric metrics and real TCP IIOP."""
 
+import threading
+
 import pytest
 
 from repro.errors import CommFailure
 from repro.orb import (InMemoryNetwork, InterfaceBuilder, TcpTransport,
-                       create_orb, ORBIX, VISIBROKER)
+                       TransportMetrics, create_orb, ORBIX, VISIBROKER)
 
 ECHO = InterfaceBuilder("Echo").operation("echo", "value").build()
 
@@ -104,5 +106,219 @@ class TestTcpTransport:
             transport.metrics.reset()
             client.proxy(ior, ECHO).echo("x")
             assert transport.metrics.messages_sent == 1
+        finally:
+            transport.close()
+
+
+class TestTransportMetricsThreadSafety:
+    def test_concurrent_records_lose_nothing(self):
+        """Regression: unlocked `+=` on the counters and the
+        per_endpoint dict dropped increments when many client threads
+        hammered one endpoint through ThreadingTCPServer."""
+        metrics = TransportMetrics()
+        endpoint = ("h", 1)
+        threads_n, per_thread = 16, 2000
+
+        def hammer():
+            for __ in range(per_thread):
+                metrics.record(endpoint, 3, 5)
+
+        threads = [threading.Thread(target=hammer)
+                   for __ in range(threads_n)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        expected = threads_n * per_thread
+        assert metrics.messages_sent == expected
+        assert metrics.bytes_sent == 3 * expected
+        assert metrics.bytes_received == 5 * expected
+        assert metrics.per_endpoint[endpoint] == expected
+
+    def test_concurrent_connection_records(self):
+        metrics = TransportMetrics()
+
+        def hammer(reused: bool):
+            for __ in range(1000):
+                metrics.record_connection(reused)
+
+        threads = [threading.Thread(target=hammer, args=(index % 2 == 0,))
+                   for index in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert metrics.connections_reused == 4000
+        assert metrics.connections_opened == 4000
+        metrics.reset()
+        assert metrics.connections_reused == 0
+        assert metrics.connections_opened == 0
+
+    def test_record_during_reset_stays_consistent(self):
+        metrics = TransportMetrics()
+        stop = threading.Event()
+
+        def recorder():
+            while not stop.is_set():
+                metrics.record(("h", 2), 1, 1)
+
+        def resetter():
+            for __ in range(200):
+                metrics.reset()
+
+        threads = [threading.Thread(target=recorder) for __ in range(4)]
+        for thread in threads:
+            thread.start()
+        resetter()
+        stop.set()
+        for thread in threads:
+            thread.join()
+        # After a final reset the counters must be exactly coherent.
+        metrics.reset()
+        assert metrics.messages_sent == 0
+        assert not metrics.per_endpoint
+
+
+class TestInMemoryNetworkConcurrency:
+    def test_send_during_register_churn(self):
+        """send() must read the handler table under the lock: a torn
+        view during concurrent register/unregister crashed discovery."""
+        network = InMemoryNetwork()
+        stable = network.register(("stable", 1), lambda data: data)
+        errors: list[Exception] = []
+        stop = threading.Event()
+
+        def churn(thread_id):
+            for index in range(300):
+                endpoint = (f"churn{thread_id}", index)
+                try:
+                    network.register(endpoint, lambda data: data)
+                    network.unregister(endpoint)
+                except Exception as exc:  # noqa: BLE001
+                    errors.append(exc)
+
+        def sender():
+            while not stop.is_set():
+                try:
+                    assert network.send(stable, b"payload") == b"payload"
+                except Exception as exc:  # noqa: BLE001
+                    errors.append(exc)
+
+        churners = [threading.Thread(target=churn, args=(thread_id,))
+                    for thread_id in range(3)]
+        senders = [threading.Thread(target=sender) for __ in range(3)]
+        for thread in senders + churners:
+            thread.start()
+        for thread in churners:
+            thread.join()
+        stop.set()
+        for thread in senders:
+            thread.join()
+        assert not errors
+
+
+class TestConnectionPool:
+    def _echo_pair(self, transport):
+        server = create_orb(ORBIX, transport, host="127.0.0.1", port=0)
+        client = create_orb(VISIBROKER, transport, host="127.0.0.1", port=0)
+        ior = server.activate(EchoServant(), ECHO)
+        return client.proxy(ior, ECHO), ior
+
+    def test_pooled_connections_are_reused(self):
+        transport = TcpTransport(pooled=True)
+        try:
+            proxy, ior = self._echo_pair(transport)
+            transport.metrics.reset()
+            for index in range(10):
+                assert proxy.echo(index) == index
+            # First call opens, the other nine ride the same socket.
+            assert transport.metrics.connections_opened == 1
+            assert transport.metrics.connections_reused == 9
+            assert transport.idle_connections(ior.primary.endpoint) == 1
+        finally:
+            transport.close()
+
+    def test_per_call_mode_opens_every_time(self):
+        transport = TcpTransport(pooled=False)
+        try:
+            proxy, ior = self._echo_pair(transport)
+            transport.metrics.reset()
+            for index in range(5):
+                assert proxy.echo(index) == index
+            assert transport.metrics.connections_opened == 5
+            assert transport.metrics.connections_reused == 0
+            assert transport.idle_connections() == 0
+        finally:
+            transport.close()
+
+    def test_stale_pooled_connection_retried(self):
+        """A pooled connection the server has dropped must be replaced
+        transparently — the request is retried on a fresh socket."""
+        transport = TcpTransport(pooled=True)
+        try:
+            proxy, ior = self._echo_pair(transport)
+            assert proxy.echo("warm") == "warm"
+            endpoint = ior.primary.endpoint
+            # Sever the idle connection behind the pool's back.
+            stale = transport._pool.checkout(endpoint)
+            assert stale is not None
+            stale.close()
+            transport._pool.checkin(endpoint, stale)
+            assert proxy.echo("after-drop") == "after-drop"
+        finally:
+            transport.close()
+
+    def test_unregister_discards_idle_connections(self):
+        transport = TcpTransport(pooled=True)
+        try:
+            proxy, ior = self._echo_pair(transport)
+            assert proxy.echo("x") == "x"
+            endpoint = ior.primary.endpoint
+            assert transport.idle_connections(endpoint) == 1
+            transport.unregister(endpoint)
+            assert transport.idle_connections(endpoint) == 0
+            with pytest.raises(CommFailure):
+                proxy.echo("gone")
+        finally:
+            transport.close()
+
+    def test_pool_bounded(self):
+        """Concurrent checkouts beyond pool_size still work; only
+        pool_size spares are retained afterwards."""
+        transport = TcpTransport(pooled=True, pool_size=2)
+        try:
+            proxy, ior = self._echo_pair(transport)
+            barrier = threading.Barrier(6)
+            errors: list[Exception] = []
+
+            def call(index):
+                try:
+                    barrier.wait(timeout=5)
+                    assert proxy.echo(index) == index
+                except Exception as exc:  # noqa: BLE001
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=call, args=(index,))
+                       for index in range(6)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert not errors
+            assert transport.idle_connections(ior.primary.endpoint) <= 2
+        finally:
+            transport.close()
+
+    def test_keep_alive_sequences_many_frames(self):
+        """One connection carries many request/reply frames in order
+        (the keep-alive server loop must not desynchronise framing)."""
+        transport = TcpTransport(pooled=True)
+        try:
+            proxy, __ = self._echo_pair(transport)
+            payloads = [{"n": index, "blob": "x" * (index * 37 % 400)}
+                        for index in range(40)]
+            for payload in payloads:
+                assert proxy.echo(payload) == payload
+            assert transport.metrics.connections_opened <= 1
         finally:
             transport.close()
