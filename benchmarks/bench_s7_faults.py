@@ -1,0 +1,166 @@
+"""S7 — Chaos: answer completeness and latency under injected failures.
+
+The federation's value proposition degrades gracefully or not at all:
+we sweep 0–30 % of the healthcare co-databases hard-dead (seeded dead
+sets, never QUT — the user's home), bound every discovery by one total
+deadline, and measure what fraction of the healthy-path-reachable
+leads each sweep still returns, sequential vs parallel fan-out.
+
+Expected shape: completeness over *healthy-path-reachable* leads stays
+at 1.0 at every failure rate (the degraded report accounts for the
+rest), latency stays within the deadline, and the parallel engine
+absorbs per-site latency better than the sequential one.
+
+Results persist to ``BENCH_faults.json`` (the S5 chaos numbers the
+resilience work is accepted against).
+"""
+
+import json
+import random
+import time
+from pathlib import Path
+
+from repro.apps.healthcare import build_healthcare_system
+from repro.apps.healthcare import topology as topo
+from repro.bench import print_table
+from repro.core.resilience import (HealthBoard, ResiliencePolicy,
+                                   RetryPolicy)
+from repro.orb.faults import ANY, FaultyTransport
+from repro.orb.transport import InMemoryNetwork
+
+SEED = 1999
+RATES = (0.0, 0.1, 0.2, 0.3)
+QUERIES = ("Medical Insurance", "Medical Research", "Superannuation")
+DEADLINE = 2.0
+GRACE = 0.5
+LINK_LATENCY = 0.0008  # per-message injected WAN latency (seconds)
+
+
+def _dead_set(rate: float) -> set[str]:
+    candidates = [name for name in topo.ALL_DATABASES if name != topo.QUT]
+    count = round(rate * len(topo.ALL_DATABASES))
+    return set(random.Random(SEED).sample(candidates, count)) if count \
+        else set()
+
+
+def _healthy_paths():
+    """query -> {lead name -> via path} from an unfaulted full sweep."""
+    deployment = build_healthcare_system()
+    engine = deployment.system.query_processor().discovery
+    paths = {}
+    for query in QUERIES:
+        result = engine.discover(query, topo.QUT, stop_at_first=False,
+                                 max_hops=6)
+        paths[query] = {lead.name: list(lead.via) for lead in result.leads}
+    engine.close()
+    return paths
+
+
+def _run_config(rate: float, parallel: bool, healthy_paths):
+    dead = _dead_set(rate)
+    faulty = FaultyTransport(InMemoryNetwork(), seed=SEED)
+    policy = ResiliencePolicy(
+        retry=RetryPolicy(max_attempts=2, base_delay=0.001,
+                          max_delay=0.01, seed=SEED),
+        health=HealthBoard(failure_threshold=3))
+    deployment = build_healthcare_system(
+        transport=faulty, resilience=policy, parallel_discovery=parallel,
+        discovery_workers=6, isolate_sources=True)
+    faulty.delay(ANY, latency=LINK_LATENCY)
+    for name in dead:
+        faulty.refuse(deployment.codatabase_endpoint(name))
+
+    engine = deployment.system.query_processor().discovery
+    expected = found = 0
+    degraded_names = set()
+    elapsed = 0.0
+    try:
+        for query in QUERIES:
+            started = time.perf_counter()
+            result = engine.discover(query, topo.QUT, stop_at_first=False,
+                                     max_hops=6, deadline=DEADLINE)
+            per_query = time.perf_counter() - started
+            elapsed += per_query
+            assert per_query <= DEADLINE + GRACE, \
+                f"{per_query:.2f}s blew the {DEADLINE}s deadline"
+            lead_names = {lead.name for lead in result.leads}
+            for lead_name, via in healthy_paths[query].items():
+                if set(via) & dead:
+                    continue  # only reachable through a dead site
+                expected += 1
+                found += 1 if lead_name in lead_names else 0
+            degraded_names.update(result.degraded.names())
+            assert set(result.degraded.names()) <= dead
+    finally:
+        engine.close()
+
+    return {
+        "rate": rate,
+        "mode": "parallel" if parallel else "sequential",
+        "dead": sorted(dead),
+        "completeness": found / expected if expected else 1.0,
+        "leads_expected": expected,
+        "leads_found": found,
+        "ms_per_query": elapsed / len(QUERIES) * 1e3,
+        "degraded_reported": sorted(degraded_names),
+        "faults_fired": {kind: count
+                         for kind, count in faulty.injected.items()
+                         if count},
+    }
+
+
+def test_s7_chaos_completeness_and_latency(benchmark):
+    healthy_paths = _healthy_paths()
+    points = [_run_config(rate, parallel, healthy_paths)
+              for rate in RATES for parallel in (False, True)]
+
+    rows = [[f"{p['rate']:.0%}", p["mode"], len(p["dead"]),
+             f"{p['completeness']:.2f}",
+             f"{p['ms_per_query']:.1f}",
+             ", ".join(p["degraded_reported"]) or "-"]
+            for p in points]
+    print_table(
+        "S7: discovery under injected co-database failures "
+        f"(deadline {DEADLINE}s, seed {SEED})",
+        ["failure rate", "mode", "dead", "completeness",
+         "ms/query", "degraded report"], rows)
+
+    # Leads reachable through healthy paths are never lost.
+    assert all(p["completeness"] == 1.0 for p in points)
+    # Zero-failure runs report zero degradation...
+    for p in points:
+        if p["rate"] == 0.0:
+            assert not p["degraded_reported"]
+        else:
+            # ...faulted runs name at least one dead co-database, and
+            # never blame a healthy one.
+            assert p["degraded_reported"]
+            assert set(p["degraded_reported"]) <= set(p["dead"])
+
+    # Parallel fan-out absorbs the injected per-site latency better at
+    # every failure rate.
+    by_rate = {}
+    for p in points:
+        by_rate.setdefault(p["rate"], {})[p["mode"]] = p
+    speedups = {
+        rate: pair["sequential"]["ms_per_query"]
+        / pair["parallel"]["ms_per_query"]
+        for rate, pair in by_rate.items()
+    }
+    assert sum(speedups.values()) / len(speedups) > 1.0
+
+    out = {
+        "benchmark": "S7 chaos: completeness/latency vs injected failures",
+        "topology": {"databases": len(topo.ALL_DATABASES),
+                     "queries": list(QUERIES),
+                     "deadline_s": DEADLINE,
+                     "link_latency_ms": LINK_LATENCY * 1e3,
+                     "seed": SEED},
+        "points": points,
+        "mean_parallel_speedup": round(
+            sum(speedups.values()) / len(speedups), 2),
+    }
+    path = Path(__file__).resolve().parents[1] / "BENCH_faults.json"
+    path.write_text(json.dumps(out, indent=2) + "\n")
+
+    benchmark(lambda: out["mean_parallel_speedup"])

@@ -19,6 +19,7 @@ from typing import Optional
 from repro.apps.healthcare import data, schemas
 from repro.apps.healthcare import topology as topo
 from repro.core.model import SourceDescription
+from repro.core.resilience import ResiliencePolicy
 from repro.core.system import WebFinditSystem
 from repro.oodb.database import ObjectDatabase
 from repro.orb.products import get_product
@@ -64,13 +65,27 @@ class HealthcareDeployment:
         user the paper's walkthrough follows."""
         return self.system.browser(home_database)
 
+    def codatabase_endpoint(self, name: str):
+        """The (host, port) a source's co-database listens on — what a
+        fault plan targets to make that co-database misbehave."""
+        ior = self.system.naming.resolve(f"webfindit/codb/{name}")
+        return ior.primary.endpoint
+
 
 def build_healthcare_system(
         transport: Optional[Transport] = None,
-        seed_offset: int = 0) -> HealthcareDeployment:
+        seed_offset: int = 0,
+        resilience: Optional[ResiliencePolicy] = None,
+        parallel_discovery: bool = False,
+        discovery_workers: Optional[int] = None,
+        isolate_sources: bool = False) -> HealthcareDeployment:
     """Deploy the full healthcare federation and return its handle."""
     system = WebFinditSystem(transport=transport,
-                             ontology=topo.healthcare_ontology())
+                             ontology=topo.healthcare_ontology(),
+                             resilience=resilience,
+                             parallel_discovery=parallel_discovery,
+                             discovery_workers=discovery_workers,
+                             isolate_sources=isolate_sources)
     relational: dict[str, Database] = {}
     objects: dict[str, ObjectDatabase] = {}
     relational_exports = schemas.relational_exports()

@@ -14,9 +14,15 @@ The shell accepts WebTassili statements plus a few meta-commands:
     current home / coalition / entry point
 ``\\metrics``
     middleware counters so far
+``\\health``
+    circuit-breaker state per co-database (the degraded-space view)
 ``\\home <database>``
     switch the session to another participating database
 ``\\help`` / ``\\quit``
+
+``--deadline SECONDS`` bounds every discovery by a total time budget;
+queries that run out of budget report the part of the information
+space they could not explore instead of silently returning less.
 """
 
 from __future__ import annotations
@@ -37,6 +43,7 @@ _HELP = """Meta-commands:
   \\tree            information tree from the current entry point
   \\session         show session state
   \\metrics         middleware counters
+  \\health          circuit-breaker state per co-database
   \\home <name>     re-home the session at another database
   \\help            this text
   \\quit            exit
@@ -105,6 +112,18 @@ class Shell:
                                 f"{stats['requests_handled']} handled, "
                                 f"{stats['cross_product_requests']} "
                                 f"cross-product")
+        elif command == "health":
+            snapshot = self.deployment.system.resilience.health.snapshot()
+            if not snapshot:
+                self._print("no co-database consulted yet "
+                            "(all circuits closed)")
+            for name in sorted(snapshot):
+                stats = snapshot[name]
+                self._print(
+                    f"  {name}: {stats['state']}  "
+                    f"({stats['successes']} ok, {stats['failures']} failed, "
+                    f"{stats['trips']} trip(s), "
+                    f"{stats['rejections']} rejected)")
         elif command == "home":
             if not argument:
                 self._print("usage: \\home <database name>")
@@ -147,6 +166,9 @@ def main(argv: Optional[list[str]] = None,
                         help="participating database the session belongs to")
     parser.add_argument("--tcp", action="store_true",
                         help="run the federation over real TCP sockets")
+    parser.add_argument("--deadline", type=float, default=None,
+                        help="total time budget (seconds) for each "
+                             "discovery; partial coverage is reported")
     parser.add_argument("--statement", "-s", action="append", default=[],
                         help="execute statement(s) and exit")
     options = parser.parse_args(argv)
@@ -155,7 +177,12 @@ def main(argv: Optional[list[str]] = None,
     if options.tcp:
         from repro.orb.transport import TcpTransport
         transport = TcpTransport()
-    deployment = build_healthcare_system(transport=transport)
+    resilience = None
+    if options.deadline is not None:
+        from repro.core.resilience import ResiliencePolicy
+        resilience = ResiliencePolicy(default_deadline=options.deadline)
+    deployment = build_healthcare_system(transport=transport,
+                                         resilience=resilience)
     shell = Shell(deployment, options.home, output=output)
     try:
         if options.statement:

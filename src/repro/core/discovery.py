@@ -33,18 +33,27 @@ from __future__ import annotations
 
 import threading
 from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Optional, Union
 
 from repro.core.codatabase import CoDatabase
 from repro.core.model import topic_score
+from repro.core.resilience import (Deadline, ResiliencePolicy, as_deadline,
+                                   call_policy)
 from repro.core.service_link import ServiceLink
-from repro.errors import DiscoveryFailure, ReproError
+from repro.errors import DeadlineExceeded, DiscoveryFailure, ReproError
 from repro.orb.orb import Proxy
 
 #: Fan-out thread cap when ``max_workers`` is left unset: scaled to the
 #: frontier, never beyond this.
 DEFAULT_MAX_WORKERS = 16
+
+#: Extra seconds a parallel merge waits for an in-flight consultation
+#: after the query deadline expires, before writing it off as timed
+#: out.  Bounds the worst case: a query returns within deadline + grace
+#: even when a worker thread is wedged inside a stalled remote call.
+DEADLINE_GRACE = 0.25
 
 
 class CoDatabaseClient:
@@ -81,7 +90,11 @@ class CoDatabaseClient:
                 return list(self._target.memberships)
             method = getattr(self._target, operation)
             return method(*args)
-        return self._target.invoke(operation, *args)
+        # Every co-database operation is a metadata *read*: safe to
+        # resend after an ambiguous transport failure, so flag it for
+        # the pooled-connection retry in TcpTransport.
+        with call_policy(idempotent=True):
+            return self._target.invoke(operation, *args)
 
     def find_coalitions(self, query: str) -> list[dict[str, Any]]:
         matches = self._call("find_coalitions", query)
@@ -149,6 +162,69 @@ class CoalitionLead:
         return self.via[-1] if self.via else None
 
 
+#: Degradation reasons, in escalating order of how little we learned.
+UNREACHABLE = "unreachable"   # consulted, transport/lookup failure
+TIMED_OUT = "timed-out"       # consulted, ran out of deadline budget
+TRIPPED = "tripped"           # not consulted: circuit breaker open
+SKIPPED = "skipped"           # not consulted: deadline already spent
+
+
+@dataclass(frozen=True)
+class DegradedEndpoint:
+    """One co-database the resolution could not (fully) use, and why."""
+
+    database: str
+    reason: str  # one of UNREACHABLE / TIMED_OUT / TRIPPED / SKIPPED
+    detail: str = ""
+    depth: int = 0
+
+    def render(self) -> str:
+        return f"{self.database} [{self.reason} at depth {self.depth}]"
+
+
+@dataclass
+class DegradedReport:
+    """Which parts of the information space a resolution had to skip.
+
+    The paper's algorithm keeps educating the user from whatever
+    metadata *is* reachable; this report is the honest footnote — the
+    difference between "no answer" and "no answer from the part of the
+    space we could explore".
+    """
+
+    entries: list[DegradedEndpoint] = field(default_factory=list)
+
+    def add(self, database: str, reason: str, detail: str = "",
+            depth: int = 0) -> None:
+        self.entries.append(DegradedEndpoint(database=database,
+                                             reason=reason, detail=detail,
+                                             depth=depth))
+
+    def __bool__(self) -> bool:
+        return bool(self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def names(self) -> list[str]:
+        return [entry.database for entry in self.entries]
+
+    def by_reason(self) -> dict[str, list[str]]:
+        grouped: dict[str, list[str]] = {}
+        for entry in self.entries:
+            grouped.setdefault(entry.reason, []).append(entry.database)
+        return grouped
+
+    def summary(self) -> str:
+        """One line for CLI / query-processor output."""
+        if not self.entries:
+            return "no degradation"
+        parts = [f"{reason}: {', '.join(names)}"
+                 for reason, names in sorted(self.by_reason().items())]
+        return (f"{len(self.entries)} co-database(s) skipped — "
+                + "; ".join(parts))
+
+
 @dataclass
 class DiscoveryResult:
     """Outcome of one resolution, with the cost accounting benches use."""
@@ -166,10 +242,21 @@ class DiscoveryResult:
     #: when no cache is wired in front of the co-database clients).
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Structured account of every co-database this resolution skipped,
+    #: timed out on, or found tripped — empty means the reachable
+    #: information space was explored in full.
+    degraded: DegradedReport = field(default_factory=DegradedReport)
 
     @property
     def resolved(self) -> bool:
         return bool(self.leads)
+
+    @property
+    def partial(self) -> bool:
+        """True when some of the information space went unexplored —
+        the caller should present leads as "what we could find", not
+        "all there is"."""
+        return bool(self.degraded)
 
     def best(self) -> CoalitionLead:
         if not self.leads:
@@ -192,6 +279,9 @@ class _Consultation:
     links: list[ServiceLink] = field(default_factory=list)
     neighbors: list[str] = field(default_factory=list)
     error: Optional[ReproError] = None
+    #: True when the consultation was never attempted (query deadline
+    #: spent before this frontier member's turn came).
+    skipped: bool = False
 
 
 class DiscoveryEngine:
@@ -208,18 +298,30 @@ class DiscoveryEngine:
     order, so leads, traces, and counters are identical to the
     sequential engine's; ``stop_at_first`` still takes effect at the
     depth boundary, after which no further depth is scheduled.
+
+    With a *policy* (:class:`~repro.core.resilience.ResiliencePolicy`)
+    the engine becomes fault-aware: frontier members whose circuit
+    breaker is open are skipped without a call, transient failures on
+    metadata reads are retried with backoff inside the remaining
+    deadline, every consultation outcome feeds the shared health
+    board, and the result's :attr:`DiscoveryResult.degraded` report
+    names everything that was skipped and why.  Without a policy the
+    engine behaves exactly as before (no retries, no breakers), except
+    that an explicit ``deadline=`` is still honoured.
     """
 
     def __init__(self, resolver: Callable[[str], CoDatabaseClient],
                  match_threshold: float = 0.5,
                  full_match_score: float = 0.999,
                  parallel: bool = False,
-                 max_workers: Optional[int] = None):
+                 max_workers: Optional[int] = None,
+                 policy: Optional[ResiliencePolicy] = None):
         self._resolve = resolver
         self._threshold = match_threshold
         self._full_match = full_match_score
         self._parallel = parallel
         self._max_workers = max_workers
+        self._policy = policy
         #: Lazily-created, engine-lifetime worker pool.  Threads are
         #: spawned on demand (so the pool scales with actual frontier
         #: sizes, capped at max_workers) and reused across depths and
@@ -237,7 +339,9 @@ class DiscoveryEngine:
 
     def discover(self, query: str, start_database: str,
                  max_hops: int = 6,
-                 stop_at_first: bool = True) -> DiscoveryResult:
+                 stop_at_first: bool = True,
+                 deadline: Union[None, float, Deadline] = None
+                 ) -> DiscoveryResult:
         """Resolve *query* starting from *start_database*'s co-database.
 
         With *stop_at_first* (the paper's interactive behaviour) the
@@ -246,7 +350,18 @@ class DiscoveryEngine:
         paper's "the coalition Research fails to answer the query"
         example.  Service-link contacts join the frontier, so links are
         followed across cluster boundaries.
+
+        *deadline* is the **total** budget for the resolution (seconds
+        or a shared :class:`~repro.core.resilience.Deadline`), not a
+        per-hop timeout; it defaults to the policy's
+        ``default_deadline``.  When the budget runs out the engine
+        stops exploring and reports everything unvisited in
+        :attr:`DiscoveryResult.degraded` rather than raising — a
+        partial answer beats no answer (§2).
         """
+        policy = self._policy
+        deadline = policy.deadline_for(deadline) if policy is not None \
+            else as_deadline(deadline)
         trace: list[str] = []
         leads: list[CoalitionLead] = []
         seen_leads: set[str] = set()
@@ -255,27 +370,70 @@ class DiscoveryEngine:
                                                   [start_database])]
         clients: list[CoDatabaseClient] = []
         unreachable: list[str] = []
+        degraded = DegradedReport()
         depth = 0
         max_depth_reached = 0
 
         while frontier and depth <= max_hops:
             max_depth_reached = depth
             next_frontier: list[tuple[str, list[str]]] = []
-            consultations = self._consult_frontier(frontier, query, depth)
-            for (database_name, path), outcome in zip(frontier,
+            if deadline is not None and deadline.expired:
+                # Budget spent before this depth: report, don't raise.
+                for database_name, __ in frontier:
+                    degraded.add(database_name, SKIPPED,
+                                 "query deadline exhausted before "
+                                 "consultation", depth=depth)
+                    trace.append(
+                        f"[depth {depth}] skipping co-database of "
+                        f"{database_name!r}: deadline exhausted")
+                break
+            consultable: list[tuple[str, list[str]]] = []
+            for database_name, path in frontier:
+                # Health memory: a co-database that has failed
+                # repeatedly (in *any* prior resolution sharing this
+                # policy) is skipped without burning deadline on it.
+                if policy is not None and depth > 0 \
+                        and not policy.health.allow(database_name):
+                    degraded.add(database_name, TRIPPED,
+                                 "circuit open after repeated failures",
+                                 depth=depth)
+                    trace.append(
+                        f"[depth {depth}] skipping co-database of "
+                        f"{database_name!r}: circuit open")
+                    continue
+                consultable.append((database_name, path))
+            consultations = self._consult_frontier(consultable, query,
+                                                   depth, deadline)
+            for (database_name, path), outcome in zip(consultable,
                                                       consultations):
+                if outcome.skipped:
+                    degraded.add(database_name, SKIPPED,
+                                 "query deadline exhausted before "
+                                 "consultation", depth=depth)
+                    trace.append(
+                        f"[depth {depth}] skipping co-database of "
+                        f"{database_name!r}: deadline exhausted")
+                    continue
                 if outcome.client is not None:
                     clients.append(outcome.client)
                     trace.append(
                         f"[depth {depth}] consulting co-database of "
                         f"{database_name!r}")
+                if policy is not None:
+                    policy.health.record(database_name,
+                                         ok=outcome.error is None)
                 if outcome.error is not None:
                     # Sources join and leave at their own discretion
                     # (§2.1); a vanished or failing co-database must not
                     # abort resolution — skip it and keep exploring.
                     if depth == 0:
                         raise outcome.error  # the user's own repository
+                    reason = TIMED_OUT if isinstance(outcome.error,
+                                                     DeadlineExceeded) \
+                        else UNREACHABLE
                     unreachable.append(database_name)
+                    degraded.add(database_name, reason,
+                                 str(outcome.error), depth=depth)
                     trace.append(
                         f"[depth {depth}] co-database of "
                         f"{database_name!r} unreachable: {outcome.error}")
@@ -322,25 +480,52 @@ class DiscoveryEngine:
             cache_hits=sum(getattr(client, "cache_hits", 0)
                            for client in clients),
             cache_misses=sum(getattr(client, "cache_misses", 0)
-                             for client in clients))
+                             for client in clients),
+            degraded=degraded)
 
     # -- internals ---------------------------------------------------------------
 
     def _consult_frontier(self, frontier: list[tuple[str, list[str]]],
-                          query: str, depth: int) -> list[_Consultation]:
+                          query: str, depth: int,
+                          deadline: Optional[Deadline] = None
+                          ) -> list[_Consultation]:
         """Fetch raw metadata from every frontier co-database.
 
         Sequential and parallel modes return the same list in the same
         (frontier) order; parallelism only overlaps the remote I/O.
         """
         if not self._parallel or len(frontier) < 2:
-            return [self._consult(name, query, depth)
-                    for name, __ in frontier]
+            outcomes: list[_Consultation] = []
+            for name, __ in frontier:
+                if deadline is not None and deadline.expired:
+                    # Mid-depth expiry: the rest of the frontier is
+                    # reported, not silently dropped.
+                    outcomes.append(_Consultation(skipped=True))
+                else:
+                    outcomes.append(self._consult(name, query, depth,
+                                                  deadline))
+            return outcomes
         pool = self._ensure_executor()
-        futures = [pool.submit(self._consult, name, query, depth)
+        futures = [pool.submit(self._consult, name, query, depth, deadline)
                    for name, __ in frontier]
         # Collect in submission order, not completion order.
-        return [future.result() for future in futures]
+        if deadline is None:
+            return [future.result() for future in futures]
+        results: list[_Consultation] = []
+        for (name, __), future in zip(frontier, futures):
+            # Workers bound their own I/O by the deadline, but a wedged
+            # remote can still hold a thread; never wait for it past
+            # deadline + grace — the worker's eventual result is
+            # discarded and the executor thread freed when it returns.
+            wait = max(0.0, deadline.remaining()) + DEADLINE_GRACE
+            try:
+                results.append(future.result(timeout=wait))
+            except FutureTimeout:
+                future.cancel()
+                results.append(_Consultation(error=DeadlineExceeded(
+                    f"co-database of {name!r} did not answer within "
+                    f"the query deadline")))
+        return results
 
     def _ensure_executor(self) -> ThreadPoolExecutor:
         with self._executor_guard:
@@ -350,24 +535,45 @@ class DiscoveryEngine:
                     max_workers=workers, thread_name_prefix="discovery")
             return self._executor
 
-    def _consult(self, database_name: str, query: str,
-                 depth: int) -> _Consultation:
-        """Fetch one co-database's answers (runs on a worker thread)."""
+    def _consult(self, database_name: str, query: str, depth: int,
+                 deadline: Optional[Deadline] = None) -> _Consultation:
+        """Fetch one co-database's answers (runs on a worker thread).
+
+        The whole consultation runs inside a call-policy context so the
+        query's deadline and the idempotence of metadata reads reach the
+        transport (per-call socket timeouts, retry-on-stale-connection).
+        When the engine carries a :class:`ResiliencePolicy`, each read
+        additionally goes through its retry policy.
+        """
         outcome = _Consultation()
-        try:
-            client = self._resolve(database_name)
-        except ReproError as exc:
-            outcome.error = exc
-            return outcome
-        outcome.client = client
-        try:
-            outcome.matches = client.find_coalitions(query)
-            outcome.links = client.service_links()
-            if depth == 0:
-                outcome.neighbors = client.neighbor_databases()
-        except ReproError as exc:
-            outcome.error = exc
+        with call_policy(deadline=deadline, idempotent=True):
+            try:
+                # Resolution is the connection step (naming lookup plus
+                # proxy setup), so transient failures here retry too.
+                client = self._guarded(
+                    lambda: self._resolve(database_name), deadline)
+            except ReproError as exc:
+                outcome.error = exc
+                return outcome
+            outcome.client = client
+            try:
+                outcome.matches = self._guarded(
+                    lambda: client.find_coalitions(query), deadline)
+                outcome.links = self._guarded(client.service_links, deadline)
+                if depth == 0:
+                    outcome.neighbors = self._guarded(
+                        client.neighbor_databases, deadline)
+            except ReproError as exc:
+                outcome.error = exc
         return outcome
+
+    def _guarded(self, fn: Callable[[], Any],
+                 deadline: Optional[Deadline]) -> Any:
+        """One metadata read, retried per the engine policy (if any)."""
+        if self._policy is None:
+            return fn()
+        return self._policy.retry.call(fn, idempotent=True,
+                                       deadline=deadline)
 
     def _merge(self, outcome: _Consultation, query: str, path: list[str],
                leads: list[CoalitionLead], seen: set[str],

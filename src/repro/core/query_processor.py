@@ -25,6 +25,7 @@ from repro.core.discovery import (CoDatabaseClient, DiscoveryEngine,
                                   DiscoveryResult)
 from repro.core.model import SourceDescription
 from repro.core.registry import Registry
+from repro.core.resilience import ResiliencePolicy
 from repro.core.service_link import EndpointKind, ServiceLink
 from repro.errors import (ReproError, UnknownCoalition, UnknownDatabase,
                           WebFinditError)
@@ -76,14 +77,17 @@ class QueryProcessor:
                  registry: Optional[Registry] = None,
                  match_threshold: float = 0.5,
                  parallel: bool = False,
-                 max_workers: Optional[int] = None):
+                 max_workers: Optional[int] = None,
+                 policy: Optional[ResiliencePolicy] = None):
         self._resolver = resolver
         self._wrapper_for = wrapper_for
         self._registry = registry
+        self.policy = policy
         self.discovery = DiscoveryEngine(resolver,
                                          match_threshold=match_threshold,
                                          parallel=parallel,
-                                         max_workers=max_workers)
+                                         max_workers=max_workers,
+                                         policy=policy)
         #: Statements processed (Figure-3 layer accounting).
         self.statements_processed = 0
 
@@ -129,7 +133,14 @@ class QueryProcessor:
         lines = [f"Coalitions with information "
                  f"'{statement.information}'{qualifier}:"]
         if not result.resolved:
-            lines.append("    (none found in the reachable information space)")
+            # A degraded sweep that found nothing is *not* evidence of
+            # absence — tell the user which part of the space went dark.
+            if result.degraded:
+                lines.append("    (no answer from the degraded information "
+                             "space — partial exploration only)")
+            else:
+                lines.append(
+                    "    (none found in the reachable information space)")
         for lead in result.leads:
             origin = f" via service link {lead.through_link}" \
                 if lead.through_link else ""
@@ -137,6 +148,9 @@ class QueryProcessor:
             lines.append(
                 f"    {lead.name}  [type: {lead.information_type}, "
                 f"score {lead.score:.2f}]{origin}  (found through {path})")
+        if result.degraded:
+            lines.append(
+                f"    !! partial exploration: {result.degraded.summary()}")
         lines.append(
             f"    -- consulted {result.codatabases_contacted} co-database(s), "
             f"{result.metadata_calls} metadata calls")
@@ -219,7 +233,12 @@ class QueryProcessor:
                          f"[{description.information_type}] "
                          f"at {description.location}")
         if not sources:
-            lines.append("    (none found)")
+            lines.append("    (no answer from the degraded information "
+                         "space — partial exploration only)"
+                         if result.degraded else "    (none found)")
+        if result.degraded:
+            lines.append(
+                f"    !! partial exploration: {result.degraded.summary()}")
         return WtResult(kind="sources", data=sources, text="\n".join(lines))
 
     def _do_connectto(self, statement: ast.ConnectTo,

@@ -27,6 +27,7 @@ from typing import Callable, Iterable, Optional
 from repro.core.coalition import Coalition
 from repro.core.codatabase import CoDatabase
 from repro.core.model import Ontology, SourceDescription
+from repro.core.resilience import HealthBoard
 from repro.core.service_link import EndpointKind, ServiceLink
 from repro.errors import (MembershipError, UnknownCoalition, UnknownDatabase,
                           WebFinditError)
@@ -50,6 +51,9 @@ class Registry:
         #: mutation just wrote to; metadata caches subscribe here.
         self._invalidation_listeners: \
             list[Callable[[frozenset[str]], None]] = []
+        #: Per-source circuit breakers, shared by every discovery engine
+        #: in the federation so health memory outlives a single query.
+        self.health = HealthBoard()
 
     # --------------------------------------------------------- invalidation --
 
@@ -136,6 +140,7 @@ class Registry:
         del self._sources[name]
         del self._codatabases[name]
         self.update_operations += 1
+        self.health.forget(name)
         self._notify([name])
 
     # ------------------------------------------------------------ coalitions --

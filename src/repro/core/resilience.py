@@ -1,0 +1,327 @@
+"""Resilience policies: deadlines, retries, and circuit breakers.
+
+WebFINDIT federates *hundreds* of autonomous databases whose
+co-databases can vanish, stall, or misbehave at any time (§2.1: sources
+join and leave at their own discretion).  This module is the one place
+that decides how the system behaves when they do:
+
+* **Deadlines** — a discovery query gets one *total* time budget that
+  propagates through the whole BFS (see :mod:`repro.deadline`, whose
+  primitives are re-exported here): every co-database consultation and
+  every GIOP round-trip bounds itself by the remaining budget, so one
+  stalled site cannot eat the query.
+* **Retries** — :class:`RetryPolicy` retries transient transport
+  failures with exponential backoff and *decorrelated jitter* (each
+  delay is drawn uniformly from ``[base, previous * multiplier]``,
+  which spreads synchronized retry storms better than plain
+  exponential).  Retries apply to **idempotent metadata reads only**;
+  a failure whose first copy may have been applied server-side is
+  never blindly resent.
+* **Circuit breakers** — :class:`CircuitBreaker` tracks per-endpoint
+  health through the classic closed / open / half-open state machine.
+  The shared :class:`HealthBoard` lives on the
+  :class:`~repro.core.registry.Registry`, so every discovery engine in
+  the federation skips known-dead co-databases instead of burning its
+  deadline rediscovering them; ``system.metrics()`` surfaces the
+  board's snapshot.
+
+:class:`ResiliencePolicy` bundles the three and is what
+:class:`~repro.core.discovery.DiscoveryEngine`,
+:class:`~repro.core.query_processor.QueryProcessor`, and the system
+facade share.  ``docs/resilience.md`` documents the behaviour and the
+fault-injection DSL used to test it.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from typing import Callable, Optional, Union
+
+from repro.deadline import (CallPolicy, Deadline, call_policy,
+                            current_policy)
+from repro.errors import CircuitOpen, CommFailure, DeadlineExceeded
+
+__all__ = [
+    "Deadline", "CallPolicy", "call_policy", "current_policy",
+    "RetryPolicy", "CircuitBreaker", "HealthBoard", "ResiliencePolicy",
+    "CLOSED", "OPEN", "HALF_OPEN", "FAILURE_ERRORS", "as_deadline",
+]
+
+#: Error classes that count as *endpoint* failures: the site is dead,
+#: unreachable, or too slow.  Application-level errors (an unknown
+#: coalition, a malformed query) mean the endpoint answered and do not
+#: trip breakers or trigger retries.
+FAILURE_ERRORS = (CommFailure, DeadlineExceeded)
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+def as_deadline(budget: Union[None, float, Deadline]) -> Optional[Deadline]:
+    """Normalise a seconds-or-Deadline argument."""
+    if budget is None or isinstance(budget, Deadline):
+        return budget
+    return Deadline.after(float(budget))
+
+
+class RetryPolicy:
+    """Bounded retries with exponential backoff + decorrelated jitter.
+
+    ``call`` retries only :data:`retryable` failures, only when the
+    caller vouches the operation is *idempotent*, and never past the
+    deadline: a retry whose backoff sleep would not leave budget for
+    the attempt itself is abandoned and the last failure re-raised.
+    *seed* fixes the jitter sequence so chaos tests are reproducible;
+    *sleep* is injectable so unit tests need not wait.
+    """
+
+    def __init__(self, max_attempts: int = 3, base_delay: float = 0.05,
+                 max_delay: float = 2.0, multiplier: float = 3.0,
+                 seed: Optional[int] = None,
+                 sleep: Callable[[float], None] = time.sleep,
+                 retryable: tuple = (CommFailure,)):
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.max_attempts = max_attempts
+        self.base_delay = base_delay
+        self.max_delay = max_delay
+        self.multiplier = multiplier
+        self.retryable = retryable
+        self._sleep = sleep
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        #: Attempts beyond the first, across all calls (benches read it).
+        self.retries = 0
+
+    def next_delay(self, previous: Optional[float] = None) -> float:
+        """Decorrelated jitter: uniform over [base, previous * mult]."""
+        ceiling = max(self.base_delay,
+                      (previous if previous is not None else self.base_delay)
+                      * self.multiplier)
+        with self._lock:
+            drawn = self._rng.uniform(self.base_delay, ceiling)
+        return min(self.max_delay, drawn)
+
+    def call(self, fn: Callable[[], object], *, idempotent: bool = False,
+             deadline: Optional[Deadline] = None) -> object:
+        """Run *fn*, retrying transient failures when allowed."""
+        delay: Optional[float] = None
+        for attempt in range(1, self.max_attempts + 1):
+            try:
+                return fn()
+            except DeadlineExceeded:
+                raise  # the budget is gone; retrying cannot help
+            except self.retryable:
+                if not idempotent or attempt >= self.max_attempts:
+                    raise
+                delay = self.next_delay(delay)
+                if deadline is not None and deadline.remaining() <= delay:
+                    raise  # no budget left for backoff plus an attempt
+                with self._lock:
+                    self.retries += 1
+                self._sleep(delay)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+
+class CircuitBreaker:
+    """Closed / open / half-open health tracking for one endpoint.
+
+    *failure_threshold* consecutive failures open the circuit; after
+    *reset_timeout* seconds the next :meth:`allow` admits up to
+    *half_open_trials* probe calls, whose outcome closes or re-opens
+    it.  Thread-safe; *clock* is injectable for tests.
+    """
+
+    def __init__(self, failure_threshold: int = 3,
+                 reset_timeout: float = 5.0, half_open_trials: int = 1,
+                 clock: Callable[[], float] = time.monotonic):
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self.half_open_trials = half_open_trials
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._trials_in_flight = 0
+        self.failures = 0
+        self.successes = 0
+        self.trips = 0
+        self.rejections = 0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def _maybe_half_open(self) -> None:
+        if self._state == OPEN and \
+                self._clock() - self._opened_at >= self.reset_timeout:
+            self._state = HALF_OPEN
+            self._trials_in_flight = 0
+
+    def allow(self) -> bool:
+        """May a call proceed right now?  (Counts a probe slot when
+        half-open.)"""
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == CLOSED:
+                return True
+            if self._state == HALF_OPEN and \
+                    self._trials_in_flight < self.half_open_trials:
+                self._trials_in_flight += 1
+                return True
+            self.rejections += 1
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self.successes += 1
+            self._consecutive_failures = 0
+            if self._state != CLOSED:
+                self._state = CLOSED
+                self._trials_in_flight = 0
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self.failures += 1
+            self._consecutive_failures += 1
+            tripping = (self._state == HALF_OPEN
+                        or (self._state == CLOSED
+                            and self._consecutive_failures
+                            >= self.failure_threshold))
+            if tripping:
+                self._state = OPEN
+                self._opened_at = self._clock()
+                self._trials_in_flight = 0
+                self.trips += 1
+
+
+class HealthBoard:
+    """Per-endpoint circuit breakers, shared federation-wide.
+
+    Keyed by database name at the discovery layer (one co-database per
+    source).  The board lives on the registry so health memory persists
+    across discovery engines, query processors, and sessions; breakers
+    are created lazily with the board's default parameters.
+    """
+
+    def __init__(self, failure_threshold: int = 3,
+                 reset_timeout: float = 5.0, half_open_trials: int = 1,
+                 clock: Callable[[], float] = time.monotonic):
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self.half_open_trials = half_open_trials
+        self._clock = clock
+        self._breakers: dict[str, CircuitBreaker] = {}
+        self._lock = threading.Lock()
+
+    def breaker(self, key: str) -> CircuitBreaker:
+        with self._lock:
+            breaker = self._breakers.get(key)
+            if breaker is None:
+                breaker = CircuitBreaker(
+                    failure_threshold=self.failure_threshold,
+                    reset_timeout=self.reset_timeout,
+                    half_open_trials=self.half_open_trials,
+                    clock=self._clock)
+                self._breakers[key] = breaker
+            return breaker
+
+    def allow(self, key: str) -> bool:
+        return self.breaker(key).allow()
+
+    def record(self, key: str, ok: bool) -> None:
+        breaker = self.breaker(key)
+        if ok:
+            breaker.record_success()
+        else:
+            breaker.record_failure()
+
+    def state(self, key: str) -> str:
+        with self._lock:
+            breaker = self._breakers.get(key)
+        return breaker.state if breaker is not None else CLOSED
+
+    def forget(self, key: str) -> None:
+        """Drop health memory for a removed source."""
+        with self._lock:
+            self._breakers.pop(key, None)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._breakers.clear()
+
+    def open_endpoints(self) -> list[str]:
+        with self._lock:
+            breakers = list(self._breakers.items())
+        return [key for key, breaker in breakers if breaker.state == OPEN]
+
+    def snapshot(self) -> dict[str, dict]:
+        """Health state per endpoint (``system.metrics()`` embeds it)."""
+        with self._lock:
+            breakers = list(self._breakers.items())
+        return {
+            key: {
+                "state": breaker.state,
+                "failures": breaker.failures,
+                "successes": breaker.successes,
+                "trips": breaker.trips,
+                "rejections": breaker.rejections,
+            }
+            for key, breaker in breakers
+        }
+
+
+class ResiliencePolicy:
+    """The bundle the discovery stack shares: retry + health + budget.
+
+    *default_deadline* (seconds) applies to any discovery that does not
+    bring its own; None leaves queries unbounded, matching the paper's
+    interactive prototype.
+    """
+
+    def __init__(self, retry: Optional[RetryPolicy] = None,
+                 health: Optional[HealthBoard] = None,
+                 default_deadline: Optional[float] = None):
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.health = health if health is not None else HealthBoard()
+        self.default_deadline = default_deadline
+
+    def deadline_for(self, budget: Union[None, float, Deadline]
+                     ) -> Optional[Deadline]:
+        """An explicit budget, else the policy default, else unbounded."""
+        explicit = as_deadline(budget)
+        if explicit is not None:
+            return explicit
+        if self.default_deadline is not None:
+            return Deadline.after(self.default_deadline)
+        return None
+
+    def call(self, fn: Callable[[], object], *, key: Optional[str] = None,
+             idempotent: bool = False,
+             deadline: Union[None, float, Deadline] = None) -> object:
+        """Guarded standalone call: breaker check, deadline context,
+        retries, and health recording in one place."""
+        deadline = self.deadline_for(deadline)
+        if key is not None and not self.health.allow(key):
+            raise CircuitOpen(
+                f"circuit open for {key!r}: repeated failures "
+                f"(state {self.health.state(key)})")
+        try:
+            with call_policy(deadline=deadline, idempotent=idempotent):
+                if deadline is not None:
+                    deadline.require(f"call to {key!r}" if key else "call")
+                result = self.retry.call(fn, idempotent=idempotent,
+                                         deadline=deadline)
+        except FAILURE_ERRORS:
+            if key is not None:
+                self.health.record(key, ok=False)
+            raise
+        if key is not None:
+            self.health.record(key, ok=True)
+        return result

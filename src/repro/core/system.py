@@ -34,6 +34,7 @@ from repro.core.metacache import CachingCoDatabaseClient, MetadataCache
 from repro.core.model import Ontology, SourceDescription
 from repro.core.query_processor import QueryProcessor, Session
 from repro.core.registry import Registry
+from repro.core.resilience import ResiliencePolicy
 from repro.core.service_link import EndpointKind, ServiceLink
 from repro.errors import UnknownDatabase, WebFinditError
 from repro.gateway.api import DriverManager
@@ -69,7 +70,9 @@ class WebFinditSystem:
                  ontology: Optional[Ontology] = None,
                  metadata_cache: Optional[MetadataCache] = None,
                  parallel_discovery: bool = False,
-                 discovery_workers: Optional[int] = None):
+                 discovery_workers: Optional[int] = None,
+                 resilience: Optional[ResiliencePolicy] = None,
+                 isolate_sources: bool = False):
         self.transport = transport if transport is not None \
             else InMemoryNetwork()
         self.ontology = ontology
@@ -79,7 +82,19 @@ class WebFinditSystem:
         self.metadata_cache = metadata_cache
         self.parallel_discovery = parallel_discovery
         self.discovery_workers = discovery_workers
+        #: One ORB (hence one transport endpoint) *per source* instead
+        #: of one per product — each site runs its own server, so a
+        #: fault plan can kill exactly one co-database's endpoint.
+        self.isolate_sources = isolate_sources
         self.registry = Registry(ontology=ontology)
+        #: Fault-tolerance policy every query processor shares.  Its
+        #: health board *is* the registry's, so breaker memory persists
+        #: across sessions and engines (and `remove_source` clears it).
+        if resilience is None:
+            resilience = ResiliencePolicy(health=self.registry.health)
+        else:
+            self.registry.health = resilience.health
+        self.resilience = resilience
         if metadata_cache is not None:
             self.registry.add_invalidation_listener(
                 metadata_cache.invalidate)
@@ -110,6 +125,17 @@ class WebFinditSystem:
 
     def orbs(self) -> list[Orb]:
         return list(self._orbs.values())
+
+    def _source_orb(self, source_name: str, product: OrbProduct) -> Orb:
+        """A dedicated ORB for one source's servants (isolated mode)."""
+        key = f"{product.name}/{source_name}"
+        orb = self._orbs.get(key)
+        if orb is None:
+            host = (f"{source_name.lower().replace(' ', '-')}"
+                    f".webfindit.net")
+            orb = create_orb(product, self.transport, host=host)
+            self._orbs[key] = orb
+        return orb
 
     # ------------------------------------------------------------- registration --
 
@@ -179,7 +205,8 @@ class WebFinditSystem:
             description.structure = vocabulary
 
         codatabase = self.registry.add_source(description)
-        orb = self.orb_for(orb_product)
+        orb = self._source_orb(name, orb_product) if self.isolate_sources \
+            else self.orb_for(orb_product)
         codb_ior = orb.activate(CoDatabaseServant(codatabase),
                                 CODATABASE_INTERFACE,
                                 object_name=f"codb-{name}")
@@ -279,7 +306,8 @@ class WebFinditSystem:
                               registry=self.registry,
                               match_threshold=match_threshold,
                               parallel=self.parallel_discovery,
-                              max_workers=self.discovery_workers)
+                              max_workers=self.discovery_workers,
+                              policy=self.resilience)
 
     def browser(self, home_database: str) -> Browser:
         """An interactive session for a user of *home_database*."""
@@ -311,6 +339,7 @@ class WebFinditSystem:
             "registry_updates": self.registry.update_operations,
             "metadata_cache": (self.metadata_cache.stats()
                                if self.metadata_cache is not None else None),
+            "resilience": self.resilience.health.snapshot(),
         }
 
     def reset_metrics(self) -> None:

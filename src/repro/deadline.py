@@ -1,0 +1,118 @@
+"""Per-call deadlines and the call-scoped resilience context.
+
+A :class:`Deadline` is one *total* time budget shared by every hop of a
+logical operation: a discovery query hands the same deadline to every
+co-database consultation it fans out, and each consultation's GIOP
+round-trips bound their socket timeouts by whatever budget is left —
+the paper's "educate the user from whatever metadata *is* reachable"
+only works if one stalled site cannot eat the whole query.
+
+Because the budget has to cross layers that must not know about each
+other (the discovery engine sits far above :class:`~repro.orb.
+transport.TcpTransport`), it travels *implicitly*: :func:`call_policy`
+installs a thread-local :class:`CallPolicy` that lower layers read with
+:func:`current_policy`.  The context also carries the **idempotence
+flag**: a transport may transparently resend a request on a fresh
+connection only when the caller has declared the call idempotent —
+co-database metadata reads are, data-level invocations are not.
+
+This module sits below both ``repro.orb`` and ``repro.core`` on purpose
+(it depends only on ``repro.errors``); the policy layer in
+:mod:`repro.core.resilience` re-exports everything here.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional
+
+from repro.errors import DeadlineExceeded
+
+
+class Deadline:
+    """An absolute expiry shared by every hop of one logical call.
+
+    Immutable after construction, so one instance can be read from many
+    fan-out worker threads without locking.  *clock* is injectable for
+    tests (same convention as :class:`~repro.core.metacache.
+    MetadataCache`).
+    """
+
+    __slots__ = ("budget", "_clock", "_expires_at")
+
+    def __init__(self, budget: float,
+                 clock: Callable[[], float] = time.monotonic):
+        self.budget = budget
+        self._clock = clock
+        self._expires_at = clock() + budget
+
+    @classmethod
+    def after(cls, seconds: float,
+              clock: Callable[[], float] = time.monotonic) -> "Deadline":
+        return cls(seconds, clock=clock)
+
+    def remaining(self) -> float:
+        """Seconds left (negative once expired)."""
+        return self._expires_at - self._clock()
+
+    @property
+    def expired(self) -> bool:
+        return self.remaining() <= 0.0
+
+    def require(self, what: str = "call") -> float:
+        """Remaining budget, or :class:`DeadlineExceeded` if spent."""
+        remaining = self.remaining()
+        if remaining <= 0.0:
+            raise DeadlineExceeded(
+                f"deadline exhausted before {what} "
+                f"(budget was {self.budget:.3f}s)")
+        return remaining
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Deadline(budget={self.budget:.3f}, " \
+               f"remaining={self.remaining():.3f})"
+
+
+@dataclass(frozen=True)
+class CallPolicy:
+    """What the layers below may assume about the current call."""
+
+    #: Total budget for the logical operation this call is part of
+    #: (None: unbounded — the transport's own default timeout applies).
+    deadline: Optional[Deadline] = None
+    #: True when re-executing the request server-side is harmless, so a
+    #: transport may resend it after an ambiguous failure.  Defaults to
+    #: False: never duplicate work unless the caller vouches for it.
+    idempotent: bool = False
+
+
+_DEFAULT_POLICY = CallPolicy()
+_state = threading.local()
+
+
+def current_policy() -> CallPolicy:
+    """The innermost :func:`call_policy` context on this thread."""
+    return getattr(_state, "policy", _DEFAULT_POLICY)
+
+
+@contextmanager
+def call_policy(deadline: Optional[Deadline] = None,
+                idempotent: Optional[bool] = None) -> Iterator[CallPolicy]:
+    """Install a call policy for the duration of the ``with`` block.
+
+    Unspecified fields inherit from the enclosing context, so a client
+    stub can declare ``idempotent=True`` without knowing whether a
+    discovery query above it already set a deadline.
+    """
+    previous = current_policy()
+    merged = CallPolicy(
+        deadline=deadline if deadline is not None else previous.deadline,
+        idempotent=previous.idempotent if idempotent is None else idempotent)
+    _state.policy = merged
+    try:
+        yield merged
+    finally:
+        _state.policy = previous

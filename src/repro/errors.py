@@ -105,6 +105,22 @@ class NamingError(OrbError):
 
 
 # ---------------------------------------------------------------------------
+# Resilience (deadlines, retries, circuit breakers)
+# ---------------------------------------------------------------------------
+
+class ResilienceError(ReproError):
+    """Base class for failures raised by the fault-tolerance layer."""
+
+
+class DeadlineExceeded(ResilienceError):
+    """The call's total time budget ran out before it completed."""
+
+
+class CircuitOpen(ResilienceError):
+    """A circuit breaker is refusing calls to an unhealthy endpoint."""
+
+
+# ---------------------------------------------------------------------------
 # Gateway (DB connectivity)
 # ---------------------------------------------------------------------------
 

@@ -200,7 +200,11 @@ def decode_message(data: bytes) -> Message:
     if message_type is MessageType.REPLY:
         context = _decode_service_context(decoder)
         request_id = decoder.read_ulong()
-        status = ReplyStatus(decoder.read_ulong())
+        status_code = decoder.read_ulong()
+        try:
+            status = ReplyStatus(status_code)
+        except ValueError as exc:
+            raise MarshalError(f"unknown reply status {status_code}") from exc
         body = decoder.read_any()
         return ReplyMessage(request_id=request_id, status=status, body=body,
                             service_context=context)
@@ -208,8 +212,14 @@ def decode_message(data: bytes) -> Message:
         return LocateRequestMessage(request_id=decoder.read_ulong(),
                                     object_key=decoder.read_octets())
     if message_type is MessageType.LOCATE_REPLY:
-        return LocateReplyMessage(request_id=decoder.read_ulong(),
-                                  status=LocateStatus(decoder.read_ulong()))
+        request_id = decoder.read_ulong()
+        status_code = decoder.read_ulong()
+        try:
+            locate_status = LocateStatus(status_code)
+        except ValueError as exc:
+            raise MarshalError(
+                f"unknown locate status {status_code}") from exc
+        return LocateReplyMessage(request_id=request_id, status=locate_status)
     raise MarshalError(f"unhandled GIOP message type {message_type!r}")
 
 

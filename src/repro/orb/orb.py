@@ -110,8 +110,11 @@ class Orb:
         self.vendor = vendor
         self.language = language
         self.transport = transport if transport is not None else InMemoryNetwork()
-        if port is None and isinstance(self.transport, InMemoryNetwork):
-            port = self.transport.allocate_port()
+        # Duck-typed so wrappers (e.g. a fault-injecting transport) stay
+        # drop-in: any fabric that pre-allocates ports is asked for one.
+        allocate_port = getattr(self.transport, "allocate_port", None)
+        if port is None and allocate_port is not None:
+            port = allocate_port()
         if port is None:
             port = 0  # let a TCP transport pick
         self.interfaces = InterfaceRepository()

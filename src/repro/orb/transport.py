@@ -28,7 +28,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
-from repro.errors import CommFailure
+from repro.deadline import Deadline, current_policy
+from repro.errors import CommFailure, DeadlineExceeded
 from repro.orb.giop import HEADER_SIZE
 
 #: A server-side message handler: request bytes in, reply bytes out
@@ -272,9 +273,18 @@ class TcpTransport(Transport):
     most *pool_size* spares: a request checks a connection out, does its
     round-trip, and checks it back in, so the steady state costs zero
     TCP handshakes.  A pooled connection that has gone stale (the server
-    restarted, the peer dropped it) is discarded and the request retried
-    once on a fresh connection.  ``pooled=False`` restores the
+    restarted, the peer dropped it) is discarded — and the request is
+    retried once on a fresh connection **only when the current call is
+    flagged idempotent** (see :mod:`repro.deadline`): once bytes went
+    out on a connection, the server may already have applied the
+    request, so a blind resend could execute it twice.  Non-idempotent
+    calls surface the failure instead.  ``pooled=False`` restores the
     connect-per-call behaviour, which benches use as the baseline.
+
+    The constructor's *timeout* is only the default: each ``send``
+    bounds its socket timeout by the remaining budget of the calling
+    thread's :class:`~repro.deadline.Deadline`, so a discovery query's
+    total budget propagates down to every socket operation.
     """
 
     def __init__(self, host: str = "127.0.0.1", timeout: float = 5.0,
@@ -331,17 +341,39 @@ class TcpTransport(Transport):
         connection.sendall(data)
         return read_giop_frame(connection)
 
+    def _effective_timeout(self) -> tuple[float, Optional[Deadline]]:
+        """Socket timeout for this call: the constructor default,
+        tightened to the calling thread's remaining deadline budget."""
+        deadline = current_policy().deadline
+        if deadline is None:
+            return self.timeout, None
+        return min(self.timeout, deadline.require("IIOP request")), deadline
+
     def send(self, endpoint: Endpoint, data: bytes) -> bytes:
+        timeout, deadline = self._effective_timeout()
         if self._pool is not None:
             pooled = self._pool.checkout(endpoint)
             if pooled is not None:
                 try:
+                    pooled.settimeout(timeout)
                     reply = self._roundtrip(pooled, data)
-                except (OSError, CommFailure):
-                    # Stale keep-alive connection; fall through to a
-                    # fresh one — the request was not answered, so the
-                    # retry cannot duplicate work on the server.
+                except (OSError, CommFailure) as exc:
+                    # Stale keep-alive connection.  The request may
+                    # already have gone out on it — the server could
+                    # have applied it and only the reply been lost —
+                    # so resending on a fresh connection is gated on
+                    # the caller having declared this call idempotent
+                    # (the metadata reads of the discovery hot path).
                     _close_quietly(pooled)
+                    if deadline is not None and deadline.expired:
+                        raise DeadlineExceeded(
+                            f"IIOP request to {endpoint!r} overran its "
+                            f"deadline: {exc}") from exc
+                    if not current_policy().idempotent:
+                        raise CommFailure(
+                            f"IIOP send to {endpoint!r} failed on a "
+                            f"pooled connection; not resending a "
+                            f"non-idempotent request ({exc})") from exc
                 else:
                     self._pool.checkin(endpoint, pooled)
                     self.metrics.record_connection(reused=True)
@@ -349,14 +381,22 @@ class TcpTransport(Transport):
                     return reply
         try:
             connection = socket.create_connection(endpoint,
-                                                  timeout=self.timeout)
+                                                  timeout=timeout)
         except OSError as exc:
+            if deadline is not None and deadline.expired:
+                raise DeadlineExceeded(
+                    f"IIOP connect to {endpoint!r} overran its deadline: "
+                    f"{exc}") from exc
             raise CommFailure(
                 f"IIOP connect to {endpoint!r} failed: {exc}") from exc
         try:
             reply = self._roundtrip(connection, data)
         except (OSError, CommFailure) as exc:
             _close_quietly(connection)
+            if deadline is not None and deadline.expired:
+                raise DeadlineExceeded(
+                    f"IIOP request to {endpoint!r} overran its deadline: "
+                    f"{exc}") from exc
             raise CommFailure(
                 f"IIOP send to {endpoint!r} failed: {exc}") from exc
         if self._pool is not None:

@@ -7,6 +7,8 @@ topology build their own systems.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.apps.healthcare import build_healthcare_system
@@ -17,6 +19,13 @@ from repro.sql.engine import Database
 def healthcare():
     """The full Figure-1 deployment (read-only across tests)."""
     return build_healthcare_system()
+
+
+@pytest.fixture(scope="session")
+def chaos_seed() -> int:
+    """Seed for fault-injection scenarios.  CI's tier-2 job sweeps a
+    fixed set of seeds via the CHAOS_SEED environment variable."""
+    return int(os.environ.get("CHAOS_SEED", "1999"))
 
 
 @pytest.fixture()

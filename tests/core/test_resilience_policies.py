@@ -1,0 +1,247 @@
+"""Deadlines, retry backoff, circuit breakers, and the policy bundle."""
+
+import pytest
+
+from repro.core.resilience import (CLOSED, HALF_OPEN, OPEN, CircuitBreaker,
+                                   Deadline, HealthBoard, ResiliencePolicy,
+                                   RetryPolicy, as_deadline, call_policy,
+                                   current_policy)
+from repro.errors import CircuitOpen, CommFailure, DeadlineExceeded
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestDeadline:
+    def test_remaining_counts_down(self):
+        clock = FakeClock()
+        deadline = Deadline.after(2.0, clock=clock)
+        assert deadline.remaining() == pytest.approx(2.0)
+        clock.advance(1.5)
+        assert deadline.remaining() == pytest.approx(0.5)
+        assert not deadline.expired
+        clock.advance(1.0)
+        assert deadline.expired
+        assert deadline.remaining() <= 0.0
+
+    def test_require_raises_when_spent(self):
+        clock = FakeClock()
+        deadline = Deadline.after(1.0, clock=clock)
+        assert deadline.require("step") > 0
+        clock.advance(2.0)
+        with pytest.raises(DeadlineExceeded, match="step"):
+            deadline.require("step")
+
+    def test_as_deadline_normalises(self):
+        assert as_deadline(None) is None
+        deadline = Deadline.after(1.0)
+        assert as_deadline(deadline) is deadline
+        assert isinstance(as_deadline(0.5), Deadline)
+
+    def test_call_policy_nesting_inherits(self):
+        deadline = Deadline.after(5.0)
+        assert current_policy().deadline is None
+        with call_policy(deadline=deadline):
+            assert current_policy().deadline is deadline
+            assert current_policy().idempotent is False
+            with call_policy(idempotent=True):
+                # The deadline flows through; idempotence is overridden.
+                assert current_policy().deadline is deadline
+                assert current_policy().idempotent is True
+            assert current_policy().idempotent is False
+        assert current_policy().deadline is None
+
+
+class TestRetryPolicy:
+    def _policy(self, **kwargs):
+        kwargs.setdefault("sleep", lambda _s: None)
+        kwargs.setdefault("seed", 7)
+        return RetryPolicy(**kwargs)
+
+    def test_retries_idempotent_until_success(self):
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise CommFailure("transient")
+            return "ok"
+
+        policy = self._policy(max_attempts=3)
+        assert policy.call(flaky, idempotent=True) == "ok"
+        assert len(attempts) == 3
+        assert policy.retries == 2
+
+    def test_never_retries_non_idempotent(self):
+        attempts = []
+
+        def failing():
+            attempts.append(1)
+            raise CommFailure("boom")
+
+        policy = self._policy()
+        with pytest.raises(CommFailure):
+            policy.call(failing, idempotent=False)
+        assert len(attempts) == 1
+
+    def test_never_retries_deadline_exceeded(self):
+        attempts = []
+
+        def timing_out():
+            attempts.append(1)
+            raise DeadlineExceeded("budget gone")
+
+        policy = self._policy()
+        with pytest.raises(DeadlineExceeded):
+            policy.call(timing_out, idempotent=True)
+        assert len(attempts) == 1
+
+    def test_abandons_retry_when_budget_below_backoff(self):
+        clock = FakeClock()
+        deadline = Deadline.after(0.01, clock=clock)
+        attempts = []
+
+        def failing():
+            attempts.append(1)
+            raise CommFailure("down")
+
+        policy = self._policy(base_delay=0.05)
+        with pytest.raises(CommFailure):
+            policy.call(failing, idempotent=True, deadline=deadline)
+        assert len(attempts) == 1  # 0.01s budget < 0.05s minimum backoff
+
+    def test_decorrelated_jitter_bounds(self):
+        policy = self._policy(base_delay=0.05, max_delay=1.0, multiplier=3.0)
+        delay = None
+        for __ in range(50):
+            previous = delay
+            delay = policy.next_delay(previous)
+            ceiling = max(0.05, (previous if previous is not None else 0.05)
+                          * 3.0)
+            assert 0.05 <= delay <= min(1.0, ceiling)
+
+    def test_seeded_jitter_reproducible(self):
+        first = [self._policy(seed=3).next_delay() for __ in range(5)]
+        second = [self._policy(seed=3).next_delay() for __ in range(5)]
+        assert first == second
+
+
+class TestCircuitBreaker:
+    def _breaker(self, clock, **kwargs):
+        kwargs.setdefault("failure_threshold", 3)
+        kwargs.setdefault("reset_timeout", 5.0)
+        return CircuitBreaker(clock=clock, **kwargs)
+
+    def test_trips_after_consecutive_failures(self):
+        breaker = self._breaker(FakeClock())
+        for __ in range(2):
+            breaker.record_failure()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert breaker.trips == 1
+        assert not breaker.allow()
+        assert breaker.rejections == 1
+
+    def test_success_resets_consecutive_count(self):
+        breaker = self._breaker(FakeClock())
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_half_open_probe_closes_on_success(self):
+        clock = FakeClock()
+        breaker = self._breaker(clock)
+        for __ in range(3):
+            breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.state == HALF_OPEN
+        assert breaker.allow()        # the single probe slot
+        assert not breaker.allow()    # no second concurrent probe
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_half_open_probe_reopens_on_failure(self):
+        clock = FakeClock()
+        breaker = self._breaker(clock)
+        for __ in range(3):
+            breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert breaker.trips == 2
+
+
+class TestHealthBoard:
+    def test_lazy_breakers_and_snapshot(self):
+        clock = FakeClock()
+        board = HealthBoard(failure_threshold=2, clock=clock)
+        assert board.state("RMIT") == CLOSED
+        board.record("RMIT", ok=False)
+        board.record("RMIT", ok=False)
+        assert board.state("RMIT") == OPEN
+        assert board.open_endpoints() == ["RMIT"]
+        assert not board.allow("RMIT")
+        assert board.allow("QUT")
+        snapshot = board.snapshot()
+        assert snapshot["RMIT"]["state"] == OPEN
+        assert snapshot["RMIT"]["failures"] == 2
+
+    def test_forget_drops_health_memory(self):
+        board = HealthBoard(failure_threshold=1)
+        board.record("gone", ok=False)
+        assert board.state("gone") == OPEN
+        board.forget("gone")
+        assert board.state("gone") == CLOSED
+        assert board.allow("gone")
+
+
+class TestResiliencePolicy:
+    def test_guarded_call_trips_then_rejects(self):
+        clock = FakeClock()
+        policy = ResiliencePolicy(
+            retry=RetryPolicy(max_attempts=1, sleep=lambda _s: None),
+            health=HealthBoard(failure_threshold=2, clock=clock))
+
+        def dead():
+            raise CommFailure("down")
+
+        for __ in range(2):
+            with pytest.raises(CommFailure):
+                policy.call(dead, key="RMIT", idempotent=True)
+        with pytest.raises(CircuitOpen):
+            policy.call(dead, key="RMIT", idempotent=True)
+
+    def test_default_deadline_applies(self):
+        policy = ResiliencePolicy(default_deadline=4.0)
+        deadline = policy.deadline_for(None)
+        assert deadline is not None
+        assert 0 < deadline.remaining() <= 4.0
+        explicit = Deadline.after(1.0)
+        assert policy.deadline_for(explicit) is explicit
+
+    def test_call_installs_policy_context(self):
+        policy = ResiliencePolicy()
+        seen = {}
+
+        def probe():
+            seen["deadline"] = current_policy().deadline
+            seen["idempotent"] = current_policy().idempotent
+            return "ok"
+
+        assert policy.call(probe, idempotent=True, deadline=2.0) == "ok"
+        assert seen["idempotent"] is True
+        assert seen["deadline"] is not None

@@ -1,0 +1,123 @@
+"""Fault-injection transport: the DSL, determinism, and deadline-aware
+latency."""
+
+import pytest
+
+from repro.deadline import Deadline, call_policy
+from repro.errors import CommFailure, DeadlineExceeded, MarshalError
+from repro.orb import InMemoryNetwork, InterfaceBuilder, create_orb, ORBIX, VISIBROKER
+from repro.orb.faults import ANY, FaultyTransport
+
+ECHO = InterfaceBuilder("Echo").operation("echo", "value").build()
+
+
+class EchoServant:
+    def echo(self, value):
+        return value
+
+
+def faulty_pair(seed=0):
+    """A proxy/endpoint pair riding a FaultyTransport."""
+    faulty = FaultyTransport(InMemoryNetwork(), seed=seed)
+    server = create_orb(ORBIX, faulty)
+    client = create_orb(VISIBROKER, faulty)
+    ior = server.activate(EchoServant(), ECHO)
+    return faulty, client.proxy(ior, ECHO), ior.primary.endpoint
+
+
+class TestFaultDsl:
+    def test_clean_transport_passes_through(self):
+        faulty, proxy, __ = faulty_pair()
+        assert proxy.echo("ok") == "ok"
+        assert all(count == 0 for count in faulty.injected.values())
+
+    def test_refuse_raises_commfailure(self):
+        faulty, proxy, endpoint = faulty_pair()
+        faulty.refuse(endpoint)
+        with pytest.raises(CommFailure, match="refused"):
+            proxy.echo("x")
+        assert faulty.injected["refuse"] == 1
+        assert endpoint in faulty.injected_endpoints["refuse"]
+
+    def test_drop_request_and_reply_are_distinguished(self):
+        faulty, proxy, endpoint = faulty_pair()
+        faulty.drop_requests(endpoint)
+        with pytest.raises(CommFailure, match="before delivery"):
+            proxy.echo("x")
+        faulty.heal(endpoint)
+        faulty.drop_replies(endpoint)
+        with pytest.raises(CommFailure, match="after the request"):
+            proxy.echo("x")
+        assert faulty.injected["drop_request"] == 1
+        assert faulty.injected["drop_reply"] == 1
+
+    def test_truncated_reply_fails_to_decode(self):
+        faulty, proxy, endpoint = faulty_pair()
+        faulty.truncate_replies(endpoint, keep_bytes=6)
+        with pytest.raises((CommFailure, MarshalError)):
+            proxy.echo("x")
+
+    def test_corrupted_reply_fails_to_decode(self):
+        faulty, proxy, endpoint = faulty_pair()
+        faulty.corrupt_replies(endpoint)
+        with pytest.raises((CommFailure, MarshalError)):
+            proxy.echo("payload-long-enough-to-damage")
+
+    def test_slow_then_die_window(self):
+        faulty, proxy, endpoint = faulty_pair()
+        faulty.slow_then_die(endpoint, calls=2, latency=0.0)
+        assert proxy.echo(1) == 1
+        assert proxy.echo(2) == 2
+        with pytest.raises(CommFailure):
+            proxy.echo(3)
+        assert faulty.injected["delay"] == 2
+        assert faulty.injected["refuse"] == 1
+
+    def test_wildcard_and_endpoint_rules_compose(self):
+        """An endpoint-specific rule must not suppress ANY rules."""
+        faulty, proxy, endpoint = faulty_pair()
+        faulty.delay(ANY, latency=0.0)
+        faulty.refuse(endpoint)
+        with pytest.raises(CommFailure):
+            proxy.echo("x")
+        assert faulty.injected["delay"] == 1
+        assert faulty.injected["refuse"] == 1
+
+    def test_heal_restores_service(self):
+        faulty, proxy, endpoint = faulty_pair()
+        faulty.refuse(endpoint)
+        with pytest.raises(CommFailure):
+            proxy.echo("x")
+        faulty.heal(endpoint)
+        assert proxy.echo("back") == "back"
+
+    def test_seeded_rates_are_deterministic(self):
+        outcomes = []
+        for __ in range(2):
+            faulty, proxy, endpoint = faulty_pair(seed=42)
+            faulty.drop_replies(endpoint, rate=0.5)
+            run = []
+            for index in range(20):
+                try:
+                    proxy.echo(index)
+                    run.append(True)
+                except CommFailure:
+                    run.append(False)
+            outcomes.append(run)
+        assert outcomes[0] == outcomes[1]
+        assert any(outcomes[0]) and not all(outcomes[0])
+
+
+class TestDeadlineAwareLatency:
+    def test_injected_latency_respects_deadline(self):
+        faulty, proxy, endpoint = faulty_pair()
+        faulty.delay(endpoint, latency=30.0)
+        with call_policy(deadline=Deadline.after(0.05)):
+            with pytest.raises(DeadlineExceeded):
+                proxy.echo("slow")
+
+    def test_latency_without_deadline_just_sleeps(self):
+        faulty, proxy, endpoint = faulty_pair()
+        faulty.delay(endpoint, latency=0.01)
+        assert proxy.echo("ok") == "ok"
+        assert faulty.injected["delay"] == 1

@@ -4,6 +4,7 @@ import threading
 
 import pytest
 
+from repro.deadline import call_policy
 from repro.errors import CommFailure
 from repro.orb import (InMemoryNetwork, InterfaceBuilder, TcpTransport,
                        TransportMetrics, create_orb, ORBIX, VISIBROKER)
@@ -253,7 +254,8 @@ class TestConnectionPool:
 
     def test_stale_pooled_connection_retried(self):
         """A pooled connection the server has dropped must be replaced
-        transparently — the request is retried on a fresh socket."""
+        transparently — the request is retried on a fresh socket, but
+        only when the caller vouches the request is idempotent."""
         transport = TcpTransport(pooled=True)
         try:
             proxy, ior = self._echo_pair(transport)
@@ -264,7 +266,30 @@ class TestConnectionPool:
             assert stale is not None
             stale.close()
             transport._pool.checkin(endpoint, stale)
-            assert proxy.echo("after-drop") == "after-drop"
+            with call_policy(idempotent=True):
+                assert proxy.echo("after-drop") == "after-drop"
+        finally:
+            transport.close()
+
+    def test_stale_pooled_connection_not_retried_when_non_idempotent(self):
+        """Without the idempotence vouch, a failure on a pooled socket
+        surfaces instead of blindly resending — the first copy of the
+        request may already have been applied server-side."""
+        transport = TcpTransport(pooled=True)
+        try:
+            proxy, ior = self._echo_pair(transport)
+            assert proxy.echo("warm") == "warm"
+            endpoint = ior.primary.endpoint
+            stale = transport._pool.checkout(endpoint)
+            assert stale is not None
+            stale.close()
+            transport._pool.checkin(endpoint, stale)
+            with pytest.raises(CommFailure,
+                               match="non-idempotent"):
+                proxy.echo("after-drop")
+            # The stale socket is gone; the next call gets a fresh one
+            # and succeeds regardless of idempotence.
+            assert proxy.echo("recovered") == "recovered"
         finally:
             transport.close()
 
