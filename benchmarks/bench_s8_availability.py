@@ -1,0 +1,189 @@
+"""S8 — Availability: what co-database replication buys.
+
+We sweep the replication factor (1, 2, 3 replica servants per
+co-database) against three failure scenarios — no kills, three primary
+servers killed, and kill followed by crash-recovery restart — and
+measure answer completeness (found / healthy-run leads) plus p50/p95
+discovery latency.
+
+Expected shape: with a single servant per co-database, killing servers
+costs leads (the degraded report names them); with two or more
+replicas the same kills are absorbed by failover routing at a modest
+latency cost, and restart always returns the federation to full
+completeness with zero journal lag.
+
+Results persist to ``BENCH_availability.json`` (the acceptance
+artefact of the replication work; see docs/availability.md).
+"""
+
+import json
+import random
+import time
+from pathlib import Path
+
+from repro.apps.healthcare import build_healthcare_system
+from repro.apps.healthcare import topology as topo
+from repro.bench import print_table
+from repro.core.resilience import (HealthBoard, ResiliencePolicy,
+                                   RetryPolicy)
+from repro.orb.faults import ANY, FaultyTransport
+from repro.orb.transport import InMemoryNetwork
+
+SEED = 1999
+REPLICA_FACTORS = (1, 2, 3)
+SCENARIOS = ("no kills", "1 kill", "kill+restart")
+QUERIES = ("Medical Insurance", "Medical Research", "Superannuation")
+REPEATS = 3           # sweeps per query per point (p95 needs samples)
+KILLED_SOURCES = 2    # sources losing their primary server (every
+                      # non-home database on a healthy lead path)
+DEADLINE = 2.0
+LINK_LATENCY = 0.0005
+
+
+def _healthy_paths():
+    """query -> {lead name -> via path}, from an unfaulted sweep."""
+    deployment = build_healthcare_system()
+    engine = deployment.system.query_processor().discovery
+    paths = {}
+    for query in QUERIES:
+        result = engine.discover(query, topo.QUT, stop_at_first=False,
+                                 max_hops=6)
+        paths[query] = {lead.name: list(lead.via) for lead in result.leads}
+    engine.close()
+    return paths
+
+
+def _pick_victims(healthy_paths):
+    """Seeded choice of killed sources, guaranteed to matter: every
+    victim sits on some healthy lead path (never QUT, the home)."""
+    on_paths = set()
+    for leads in healthy_paths.values():
+        for via in leads.values():
+            on_paths.update(via)
+    on_paths &= set(topo.ALL_DATABASES)  # leads are coalitions, not kill targets
+    on_paths.discard(topo.QUT)
+    return random.Random(SEED).sample(sorted(on_paths), KILLED_SOURCES)
+
+
+def _build(replicas):
+    faulty = FaultyTransport(InMemoryNetwork(), seed=SEED)
+    policy = ResiliencePolicy(
+        retry=RetryPolicy(max_attempts=2, base_delay=0.001,
+                          max_delay=0.01, seed=SEED),
+        health=HealthBoard(failure_threshold=3))
+    # snapshot_every keeps the replication machinery on even at factor
+    # 1, so "kill the primary" means the same thing in every row.
+    deployment = build_healthcare_system(
+        transport=faulty, resilience=policy,
+        replication_factor=replicas, snapshot_every=8)
+    faulty.delay(ANY, latency=LINK_LATENCY)
+    return deployment
+
+
+def _measure(deployment, healthy_paths):
+    """Sweep all queries REPEATS times: completeness + latency samples."""
+    engine = deployment.system.query_processor().discovery
+    latencies, found, expected, degraded = [], 0, 0, set()
+    try:
+        for __ in range(REPEATS):
+            for query in QUERIES:
+                started = time.perf_counter()
+                result = engine.discover(query, topo.QUT,
+                                         stop_at_first=False, max_hops=6,
+                                         deadline=DEADLINE)
+                latencies.append(time.perf_counter() - started)
+                lead_names = {lead.name for lead in result.leads}
+                expected += len(healthy_paths[query])
+                found += len(set(healthy_paths[query]) & lead_names)
+                degraded.update(result.degraded.names())
+    finally:
+        engine.close()
+    return latencies, found / expected if expected else 1.0, degraded
+
+
+def _percentile(samples, fraction):
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1,
+                       round(fraction * (len(ordered) - 1)))]
+
+
+def _run_point(replicas, scenario, healthy_paths):
+    deployment = _build(replicas)
+    system = deployment.system
+    victims = _pick_victims(healthy_paths)
+
+    if scenario != "no kills":
+        for victim in victims:
+            system.kill_replica(victim, 0)
+    if scenario == "kill+restart":
+        # One sweep while down (warms breakers and proves the outage),
+        # then every victim crash-recovers before the measured runs.
+        _measure(deployment, healthy_paths)
+        for victim in victims:
+            system.restart_replica(victim, 0)
+
+    latencies, completeness, degraded = _measure(deployment, healthy_paths)
+    status = system.replica_status()
+    lag = sum(replica["lag"] for entry in status.values()
+              for replica in entry["replicas"])
+    return {
+        "replicas": replicas,
+        "scenario": scenario,
+        "killed": victims if scenario != "no kills" else [],
+        "completeness": round(completeness, 3),
+        "p50_ms": round(_percentile(latencies, 0.50) * 1e3, 2),
+        "p95_ms": round(_percentile(latencies, 0.95) * 1e3, 2),
+        "degraded_reported": sorted(degraded),
+        "journal_lag": lag,
+    }
+
+
+def test_s8_availability(benchmark):
+    healthy_paths = _healthy_paths()
+    points = [_run_point(replicas, scenario, healthy_paths)
+              for replicas in REPLICA_FACTORS for scenario in SCENARIOS]
+
+    rows = [[p["replicas"], p["scenario"], f"{p['completeness']:.2f}",
+             f"{p['p50_ms']:.1f}", f"{p['p95_ms']:.1f}",
+             ", ".join(p["degraded_reported"]) or "-"]
+            for p in points]
+    print_table(
+        f"S8: completeness and latency vs replication factor "
+        f"({KILLED_SOURCES} primaries killed, deadline {DEADLINE}s, "
+        f"seed {SEED})",
+        ["replicas", "scenario", "completeness", "p50 ms", "p95 ms",
+         "degraded report"], rows)
+
+    by_key = {(p["replicas"], p["scenario"]): p for p in points}
+    # Nothing killed -> nothing lost, at any factor.
+    for replicas in REPLICA_FACTORS:
+        assert by_key[(replicas, "no kills")]["completeness"] == 1.0
+        assert not by_key[(replicas, "no kills")]["degraded_reported"]
+    # A single servant loses leads when its server dies ...
+    assert by_key[(1, "1 kill")]["completeness"] < 1.0
+    assert by_key[(1, "1 kill")]["degraded_reported"]
+    # ... replication absorbs the same kills completely.
+    for replicas in (2, 3):
+        assert by_key[(replicas, "1 kill")]["completeness"] == 1.0
+        assert not by_key[(replicas, "1 kill")]["degraded_reported"]
+    # Restart restores full completeness and leaves no journal lag.
+    for replicas in REPLICA_FACTORS:
+        point = by_key[(replicas, "kill+restart")]
+        assert point["completeness"] == 1.0
+        assert point["journal_lag"] == 0
+
+    out = {
+        "benchmark": "S8 availability: replication factor vs kills",
+        "topology": {"databases": len(topo.ALL_DATABASES),
+                     "queries": list(QUERIES),
+                     "repeats": REPEATS,
+                     "killed_sources": KILLED_SOURCES,
+                     "deadline_s": DEADLINE,
+                     "link_latency_ms": LINK_LATENCY * 1e3,
+                     "seed": SEED},
+        "points": points,
+    }
+    path = Path(__file__).resolve().parents[1] / "BENCH_availability.json"
+    path.write_text(json.dumps(out, indent=2) + "\n")
+
+    benchmark(lambda: len(points))

@@ -19,6 +19,7 @@ from typing import Optional
 from repro.apps.healthcare import data, schemas
 from repro.apps.healthcare import topology as topo
 from repro.core.model import SourceDescription
+from repro.core.replication import replica_binding
 from repro.core.resilience import ResiliencePolicy
 from repro.core.system import WebFinditSystem
 from repro.oodb.database import ObjectDatabase
@@ -71,6 +72,12 @@ class HealthcareDeployment:
         ior = self.system.naming.resolve(f"webfindit/codb/{name}")
         return ior.primary.endpoint
 
+    def codatabase_replica_endpoint(self, name: str, index: int):
+        """The (host, port) of one co-database replica — what a chaos
+        plan targets to kill exactly that replica's server."""
+        ior = self.system.naming.resolve(replica_binding(name, index))
+        return ior.primary.endpoint
+
 
 def build_healthcare_system(
         transport: Optional[Transport] = None,
@@ -78,14 +85,22 @@ def build_healthcare_system(
         resilience: Optional[ResiliencePolicy] = None,
         parallel_discovery: bool = False,
         discovery_workers: Optional[int] = None,
-        isolate_sources: bool = False) -> HealthcareDeployment:
+        isolate_sources: bool = False,
+        replication_factor: int = 1,
+        durable_dir: Optional[str] = None,
+        snapshot_every: Optional[int] = None,
+        metadata_cache=None) -> HealthcareDeployment:
     """Deploy the full healthcare federation and return its handle."""
     system = WebFinditSystem(transport=transport,
                              ontology=topo.healthcare_ontology(),
+                             metadata_cache=metadata_cache,
                              resilience=resilience,
                              parallel_discovery=parallel_discovery,
                              discovery_workers=discovery_workers,
-                             isolate_sources=isolate_sources)
+                             isolate_sources=isolate_sources,
+                             replication_factor=replication_factor,
+                             durable_dir=durable_dir,
+                             snapshot_every=snapshot_every)
     relational: dict[str, Database] = {}
     objects: dict[str, ObjectDatabase] = {}
     relational_exports = schemas.relational_exports()

@@ -15,7 +15,12 @@ The shell accepts WebTassili statements plus a few meta-commands:
 ``\\metrics``
     middleware counters so far
 ``\\health``
-    circuit-breaker state per co-database (the degraded-space view)
+    circuit-breaker state per co-database (the degraded-space view);
+    with ``--replicas N`` it also lists per-replica epoch, breaker
+    state, and journal lag
+``\\replicas [source]``
+    replica availability of one source (or all): epoch, lag, journal
+    length, restarts, durability
 ``\\home <database>``
     switch the session to another participating database
 ``\\help`` / ``\\quit``
@@ -23,6 +28,8 @@ The shell accepts WebTassili statements plus a few meta-commands:
 ``--deadline SECONDS`` bounds every discovery by a total time budget;
 queries that run out of budget report the part of the information
 space they could not explore instead of silently returning less.
+``--replicas N`` deploys N co-database replica servants per source
+(see ``docs/availability.md``).
 """
 
 from __future__ import annotations
@@ -43,7 +50,8 @@ _HELP = """Meta-commands:
   \\tree            information tree from the current entry point
   \\session         show session state
   \\metrics         middleware counters
-  \\health          circuit-breaker state per co-database
+  \\health          circuit-breaker state per co-database (and replica)
+  \\replicas [name] replica availability: epoch, lag, journal, restarts
   \\home <name>     re-home the session at another database
   \\help            this text
   \\quit            exit
@@ -124,6 +132,21 @@ class Shell:
                     f"({stats['successes']} ok, {stats['failures']} failed, "
                     f"{stats['trips']} trip(s), "
                     f"{stats['rejections']} rejected)")
+            self._print_replicas(self.deployment.system.replica_status())
+        elif command == "replicas":
+            system = self.deployment.system
+            try:
+                status = (system.replica_status(argument) if argument
+                          else system.replica_status())
+            except ReproError as exc:
+                self._print(f"error: {exc}")
+                return True
+            if argument:
+                status = {argument: status}
+            if not status:
+                self._print("no replicated co-databases "
+                            "(run with --replicas N)")
+            self._print_replicas(status)
         elif command == "home":
             if not argument:
                 self._print("usage: \\home <database name>")
@@ -136,6 +159,23 @@ class Shell:
         else:
             self._print(f"unknown meta-command \\{command} (try \\help)")
         return True
+
+    def _print_replicas(self, status: dict) -> None:
+        """One line per replica: epoch, breaker, journal lag."""
+        for name in sorted(status):
+            entry = status[name]
+            self._print(f"  {name} (epoch {entry['epoch']}):")
+            for replica in entry["replicas"]:
+                state = "up" if replica["alive"] else "DOWN"
+                breaker = replica.get("breaker", "closed")
+                durable = ", durable" if replica["durable"] else ""
+                self._print(
+                    f"    {replica['name']}: {state}, "
+                    f"epoch {replica['epoch']} (lag {replica['lag']}), "
+                    f"breaker {breaker}, "
+                    f"journal {replica['journal_entries']} entr"
+                    f"{'y' if replica['journal_entries'] == 1 else 'ies'}, "
+                    f"{replica['restarts']} restart(s){durable}")
 
     def run(self, input_stream: Optional[IO[str]] = None,
             interactive: bool = True) -> None:
@@ -171,6 +211,13 @@ def main(argv: Optional[list[str]] = None,
                              "discovery; partial coverage is reported")
     parser.add_argument("--statement", "-s", action="append", default=[],
                         help="execute statement(s) and exit")
+    parser.add_argument("--replicas", type=int, default=1,
+                        help="co-database replica servants per source "
+                             "(failover + crash recovery; default 1)")
+    parser.add_argument("--durable-dir", default=None,
+                        help="directory for on-disk replica journals and "
+                             "snapshots (enables crash recovery across "
+                             "runs)")
     options = parser.parse_args(argv)
 
     transport = None
@@ -182,7 +229,9 @@ def main(argv: Optional[list[str]] = None,
         from repro.core.resilience import ResiliencePolicy
         resilience = ResiliencePolicy(default_deadline=options.deadline)
     deployment = build_healthcare_system(transport=transport,
-                                         resilience=resilience)
+                                         resilience=resilience,
+                                         replication_factor=options.replicas,
+                                         durable_dir=options.durable_dir)
     shell = Shell(deployment, options.home, output=output)
     try:
         if options.statement:

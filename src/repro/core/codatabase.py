@@ -86,6 +86,11 @@ class CoDatabase:
         self.memberships: list[str] = []
         #: Metadata query counter (benchmarks read this).
         self.queries_answered = 0
+        #: Monotonic version: bumped once per maintenance write.  Two
+        #: replicas of the same co-database that applied the same write
+        #: prefix carry the same epoch — which is what journal replay,
+        #: anti-entropy, and stale-read detection all compare.
+        self.epoch = 0
 
     # ------------------------------------------------------------ population --
 
@@ -95,10 +100,14 @@ class CoDatabase:
             raise UnknownDatabase(
                 f"co-database of {self.owner_name!r} cannot advertise "
                 f"{description.name!r}")
+        self.epoch += 1
         self.local_description = description
 
     def register_coalition(self, coalition: Coalition) -> None:
         """Make *coalition* known: define its class in the lattice."""
+        # Epoch bumps are unconditional — a replayed no-op must move the
+        # version exactly as the original call did.
+        self.epoch += 1
         if self._db.schema.has_class(coalition.name):
             return
         parent = coalition.parent
@@ -114,10 +123,12 @@ class CoDatabase:
     def record_membership(self, coalition_name: str) -> None:
         """Note that the owner belongs to *coalition_name*."""
         self._require_coalition(coalition_name)
+        self.epoch += 1
         if coalition_name not in self.memberships:
             self.memberships.append(coalition_name)
 
     def drop_membership(self, coalition_name: str) -> None:
+        self.epoch += 1
         if coalition_name in self.memberships:
             self.memberships.remove(coalition_name)
 
@@ -125,6 +136,7 @@ class CoDatabase:
                    description: SourceDescription) -> None:
         """Store *description* as an instance of the coalition class."""
         self._require_coalition(coalition_name)
+        self.epoch += 1
         existing = self._db.select(coalition_name, include_subclasses=False,
                                    name=description.name)
         if existing:
@@ -133,6 +145,7 @@ class CoDatabase:
 
     def remove_member(self, coalition_name: str, source_name: str) -> None:
         self._require_coalition(coalition_name)
+        self.epoch += 1
         for obj in self._db.select(coalition_name, include_subclasses=False,
                                    name=source_name):
             self._db.delete(obj.oid)
@@ -141,16 +154,21 @@ class CoDatabase:
         """Remove a dissolved coalition's metadata (class stays defined —
         schema evolution is append-only, as in the era's object stores —
         but its info record and instances go away)."""
+        self.epoch += 1
         for obj in self._db.select("CoalitionInfo", name=coalition_name):
             self._db.delete(obj.oid)
         if self._db.schema.has_class(coalition_name):
             for obj in self._db.extent(coalition_name,
                                        include_subclasses=False):
                 self._db.delete(obj.oid)
-        self.drop_membership(coalition_name)
+        # Inlined (rather than calling drop_membership) so one logical
+        # maintenance write bumps the epoch exactly once.
+        if coalition_name in self.memberships:
+            self.memberships.remove(coalition_name)
 
     def add_service_link(self, link: ServiceLink) -> None:
         """Record a service link in the appropriate subclass."""
+        self.epoch += 1
         involves_owner = link.involves(EndpointKind.DATABASE, self.owner_name)
         class_name = ("DatabaseServiceLink" if involves_owner
                       else "CoalitionServiceLink")
@@ -164,6 +182,7 @@ class CoDatabase:
         self._db.create(class_name, **payload)
 
     def remove_service_link(self, link: ServiceLink) -> None:
+        self.epoch += 1
         for class_name in ("DatabaseServiceLink", "CoalitionServiceLink"):
             for obj in self._db.select(class_name, include_subclasses=False,
                                        from_name=link.from_name,
@@ -175,6 +194,7 @@ class CoDatabase:
     def attach_document(self, source_name: str, format_name: str,
                         content: str, url: str = "") -> None:
         """Store one documentation artefact for *source_name*."""
+        self.epoch += 1
         self._db.create("Document", owner=source_name, format=format_name,
                         content=content, url=url)
 
@@ -346,6 +366,7 @@ CODATABASE_INTERFACE: InterfaceDef = (
     .operation("service_links")
     .operation("neighbor_databases")
     .operation("owner", doc="Name of the attached database")
+    .operation("epoch", doc="Monotonic maintenance-write version")
     .build())
 
 
@@ -384,3 +405,6 @@ class CoDatabaseServant:
 
     def owner(self) -> str:
         return self._codb.owner_name
+
+    def epoch(self) -> int:
+        return self._codb.epoch

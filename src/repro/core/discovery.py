@@ -88,6 +88,8 @@ class CoDatabaseClient:
         if isinstance(self._target, CoDatabase):
             if operation == "memberships":
                 return list(self._target.memberships)
+            if operation == "epoch":
+                return self._target.epoch
             method = getattr(self._target, operation)
             return method(*args)
         # Every co-database operation is a metadata *read*: safe to

@@ -1,0 +1,206 @@
+"""Write-ahead journaling of co-database maintenance operations.
+
+Every maintenance write the registry applies to a co-database replica
+is first appended to that replica's journal as a :class:`JournalEntry`
+— the operation name, its wire-encoded arguments, and the monotonic
+epoch the write produces.  A replica that crashes therefore owns, on
+disk (or in memory for ephemeral deployments), exactly the prefix of
+writes it had applied; :func:`replay_entries` rebuilds the co-database
+from a snapshot plus that prefix, and the replica's epoch tells the
+replication layer whether it still needs anti-entropy catch-up from a
+live peer (see :mod:`repro.core.replication`).
+
+The journal format is JSON-lines: one entry per line, append-only,
+fsync-free (the reproduction models crash recovery semantics, not disk
+guarantees).  Snapshots reuse the export format of
+:mod:`repro.core.snapshot` (``webfindit-codatabase/1``) and truncate
+the journal they cover.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.core.coalition import Coalition
+from repro.core.model import SourceDescription
+from repro.core.service_link import ServiceLink
+from repro.errors import WebFinditError
+
+#: Maintenance operations a journal may carry — exactly the mutator
+#: surface of :class:`~repro.core.codatabase.CoDatabase`.
+JOURNALED_OPERATIONS = frozenset({
+    "advertise", "register_coalition", "record_membership",
+    "drop_membership", "add_member", "remove_member", "forget_coalition",
+    "add_service_link", "remove_service_link", "attach_document",
+})
+
+
+@dataclass(frozen=True)
+class JournalEntry:
+    """One logged maintenance write, wire-encoded and epoch-stamped."""
+
+    epoch: int
+    operation: str
+    arguments: tuple
+
+    def to_wire(self) -> dict[str, Any]:
+        return {"epoch": self.epoch, "op": self.operation,
+                "args": list(self.arguments)}
+
+    @classmethod
+    def from_wire(cls, payload: dict[str, Any]) -> "JournalEntry":
+        return cls(epoch=int(payload["epoch"]), operation=payload["op"],
+                   arguments=tuple(payload.get("args", ())))
+
+
+def encode_operation(operation: str, args: tuple) -> tuple:
+    """Wire-encode a mutator call's arguments for journaling."""
+    encoded = []
+    for argument in args:
+        if isinstance(argument, (SourceDescription, Coalition, ServiceLink)):
+            encoded.append(argument.to_wire())
+        else:
+            encoded.append(argument)
+    return tuple(encoded)
+
+
+def apply_entry(codatabase, entry: JournalEntry) -> None:
+    """Re-apply one journaled write to *codatabase*.
+
+    Replay is idempotent at the epoch level: an entry at or below the
+    co-database's current epoch has already been applied and is
+    skipped, so overlapping snapshot + journal sources are safe.
+    """
+    if entry.operation not in JOURNALED_OPERATIONS:
+        raise WebFinditError(
+            f"journal entry for unknown operation {entry.operation!r}")
+    if entry.epoch <= codatabase.epoch:
+        return
+    args = entry.arguments
+    if entry.operation == "advertise":
+        codatabase.advertise(SourceDescription.from_wire(args[0]))
+    elif entry.operation == "register_coalition":
+        codatabase.register_coalition(Coalition.from_wire(args[0]))
+    elif entry.operation == "add_member":
+        codatabase.add_member(args[0], SourceDescription.from_wire(args[1]))
+    elif entry.operation == "add_service_link":
+        codatabase.add_service_link(ServiceLink.from_wire(args[0]))
+    elif entry.operation == "remove_service_link":
+        codatabase.remove_service_link(ServiceLink.from_wire(args[0]))
+    else:  # plain-string operations
+        getattr(codatabase, entry.operation)(*args)
+
+
+def replay_entries(codatabase, entries) -> int:
+    """Apply *entries* in order; returns how many actually applied."""
+    applied = 0
+    for entry in entries:
+        before = codatabase.epoch
+        apply_entry(codatabase, entry)
+        if codatabase.epoch != before:
+            applied += 1
+    return applied
+
+
+class ReplicaJournal:
+    """The write-ahead log of one co-database replica.
+
+    In-memory always; file-backed when *path* is given (JSON lines,
+    appended before the write is applied — the WAL ordering).  A
+    snapshot covers every entry up to its epoch, so taking one
+    truncates the journal; :attr:`snapshot` holds the latest snapshot
+    payload (and its file, when durable).
+    """
+
+    def __init__(self, path: Optional[str] = None):
+        self.path = path
+        self._entries: list[JournalEntry] = []
+        self._lock = threading.Lock()
+        #: Latest snapshot payload (``webfindit-codatabase/1``), if any.
+        self.snapshot: Optional[dict[str, Any]] = None
+        if path is not None:
+            os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+            self._load_files()
+
+    # ----------------------------------------------------------- durability --
+
+    @property
+    def snapshot_path(self) -> Optional[str]:
+        if self.path is None:
+            return None
+        return os.path.join(os.path.dirname(self.path), "snapshot.json")
+
+    def _load_files(self) -> None:
+        snapshot_path = self.snapshot_path
+        if snapshot_path and os.path.exists(snapshot_path):
+            with open(snapshot_path, encoding="utf-8") as handle:
+                self.snapshot = json.load(handle)
+        if self.path and os.path.exists(self.path):
+            with open(self.path, encoding="utf-8") as handle:
+                self._entries = [JournalEntry.from_wire(json.loads(line))
+                                 for line in handle if line.strip()]
+
+    # ------------------------------------------------------------- the log --
+
+    def append(self, entry: JournalEntry) -> None:
+        with self._lock:
+            self._entries.append(entry)
+            if self.path is not None:
+                with open(self.path, "a", encoding="utf-8") as handle:
+                    handle.write(json.dumps(entry.to_wire()) + "\n")
+
+    def entries(self) -> list[JournalEntry]:
+        with self._lock:
+            return list(self._entries)
+
+    def entries_after(self, epoch: int) -> list[JournalEntry]:
+        with self._lock:
+            return [entry for entry in self._entries if entry.epoch > epoch]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def last_epoch(self) -> int:
+        """Highest epoch this journal (snapshot included) accounts for."""
+        with self._lock:
+            if self._entries:
+                return self._entries[-1].epoch
+            if self.snapshot is not None:
+                return int(self.snapshot.get("epoch", 0))
+            return 0
+
+    def discard(self, epoch: int) -> None:
+        """Drop entries at exactly *epoch* — the compensation when a
+        journaled write then fails application-level validation (the
+        replication layer rolls the epoch back with it)."""
+        with self._lock:
+            self._entries = [entry for entry in self._entries
+                             if entry.epoch != epoch]
+            if self.path is not None:
+                with open(self.path, "w", encoding="utf-8") as handle:
+                    for entry in self._entries:
+                        handle.write(json.dumps(entry.to_wire()) + "\n")
+
+    # ----------------------------------------------------------- snapshots --
+
+    def install_snapshot(self, payload: dict[str, Any]) -> None:
+        """Record *payload* as the recovery base and drop covered
+        entries (the snapshot subsumes every write up to its epoch)."""
+        epoch = int(payload.get("epoch", 0))
+        with self._lock:
+            self.snapshot = payload
+            self._entries = [entry for entry in self._entries
+                             if entry.epoch > epoch]
+            if self.path is not None:
+                with open(self.snapshot_path, "w",
+                          encoding="utf-8") as handle:
+                    json.dump(payload, handle, indent=2)
+                with open(self.path, "w", encoding="utf-8") as handle:
+                    for entry in self._entries:
+                        handle.write(json.dumps(entry.to_wire()) + "\n")

@@ -48,6 +48,10 @@ CACHEABLE_OPERATIONS = frozenset({
 
 _Key = tuple[str, str, tuple]
 
+#: Epoch tag meaning "no epoch tracking" — entries so tagged match any
+#: requested epoch (the pre-replication behaviour).
+UNVERSIONED = None
+
 
 class MetadataCache:
     """A TTL + explicit-invalidation cache over co-database reads.
@@ -62,39 +66,56 @@ class MetadataCache:
         self.ttl = ttl
         self.max_entries = max_entries
         self._clock = clock
-        self._entries: dict[_Key, tuple[float, Any]] = {}
+        self._entries: dict[_Key, tuple[float, Any, Optional[int]]] = {}
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
         self.expirations = 0
+        #: Entries dropped because their epoch tag no longer matched
+        #: the serving replica (failover to a lagging sibling).
+        self.epoch_invalidations = 0
 
-    def lookup(self, database: str, operation: str,
-               args: tuple) -> tuple[bool, Any]:
-        """``(True, value)`` on a live hit, ``(False, None)`` otherwise."""
+    def lookup(self, database: str, operation: str, args: tuple,
+               epoch: Optional[int] = None) -> tuple[bool, Any]:
+        """``(True, value)`` on a live hit, ``(False, None)`` otherwise.
+
+        With *epoch* given, an entry only hits when it was stored under
+        the **same** co-database epoch: after a failover to a replica
+        at a different version, every mismatched entry is dropped
+        rather than served (replication's stale-read rule).  Entries
+        stored without an epoch keep the pre-replication TTL-only
+        behaviour.
+        """
         key = (database, operation, args)
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
                 self.misses += 1
                 return False, None
-            expires, value = entry
+            expires, value, stored_epoch = entry
             if self._clock() >= expires:
                 del self._entries[key]
                 self.expirations += 1
+                self.misses += 1
+                return False, None
+            if epoch is not None and stored_epoch is not None \
+                    and stored_epoch != epoch:
+                del self._entries[key]
+                self.epoch_invalidations += 1
                 self.misses += 1
                 return False, None
             self.hits += 1
             return True, value
 
     def store(self, database: str, operation: str, args: tuple,
-              value: Any) -> None:
+              value: Any, epoch: Optional[int] = None) -> None:
         key = (database, operation, args)
         with self._lock:
             while len(self._entries) >= self.max_entries:
                 # Evict the oldest insertion (dicts preserve order).
                 self._entries.pop(next(iter(self._entries)))
-            self._entries[key] = (self._clock() + self.ttl, value)
+            self._entries[key] = (self._clock() + self.ttl, value, epoch)
 
     def invalidate(self, databases: Iterable[str] | str) -> None:
         """Drop every cached entry for the given co-database owner(s).
@@ -112,6 +133,15 @@ class MetadataCache:
                 del self._entries[key]
             self.invalidations += len(doomed)
 
+    def invalidate_source(self, name: str) -> None:
+        """Drop every entry for one co-database owner.
+
+        The failover hook: routing away from a replica (server death,
+        re-bound IOR, epoch mismatch) calls this so no entry cached
+        from the previous replica survives the topology change.
+        """
+        self.invalidate((name,))
+
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
@@ -125,6 +155,7 @@ class MetadataCache:
             return {"hits": self.hits, "misses": self.misses,
                     "invalidations": self.invalidations,
                     "expirations": self.expirations,
+                    "epoch_invalidations": self.epoch_invalidations,
                     "entries": len(self._entries)}
 
 

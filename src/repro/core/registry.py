@@ -36,8 +36,15 @@ from repro.errors import (MembershipError, UnknownCoalition, UnknownDatabase,
 class Registry:
     """Administers coalitions, service links, sources, and co-databases."""
 
-    def __init__(self, ontology: Optional[Ontology] = None):
+    def __init__(self, ontology: Optional[Ontology] = None,
+                 codatabase_factory: Optional[Callable[[str], CoDatabase]]
+                 = None):
         self.ontology = ontology
+        #: Builds the co-database for a newly registered source.  The
+        #: default is one plain in-process CoDatabase; the availability
+        #: layer injects a factory producing
+        #: :class:`~repro.core.replication.ReplicatedCoDatabase` sets.
+        self._codatabase_factory = codatabase_factory
         self._sources: dict[str, SourceDescription] = {}
         self._codatabases: dict[str, CoDatabase] = {}
         self._coalitions: dict[str, Coalition] = {}
@@ -82,8 +89,11 @@ class Registry:
         if description.name in self._sources:
             raise WebFinditError(
                 f"source {description.name!r} already registered")
-        codatabase = CoDatabase(description.name, ontology=self.ontology,
-                                product=codatabase_product)
+        if self._codatabase_factory is not None:
+            codatabase = self._codatabase_factory(description.name)
+        else:
+            codatabase = CoDatabase(description.name, ontology=self.ontology,
+                                    product=codatabase_product)
         codatabase.advertise(description)
         self._sources[description.name] = description
         self._codatabases[description.name] = codatabase
@@ -128,6 +138,11 @@ class Registry:
 
     def source_names(self) -> list[str]:
         return list(self._sources)
+
+    def epochs(self) -> dict[str, int]:
+        """Per-co-database maintenance-write versions."""
+        return {name: getattr(codatabase, "epoch", 0)
+                for name, codatabase in self._codatabases.items()}
 
     def remove_source(self, name: str) -> None:
         """Unregister a source, leaving all its coalitions first."""

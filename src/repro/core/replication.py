@@ -1,0 +1,430 @@
+"""Replicated co-databases: the availability layer of the metadata tier.
+
+The paper's sources "join and leave at their own discretion" — which
+the client-side resilience of :mod:`repro.core.resilience` can only
+*report*.  This module adds the server-side half:
+
+* :class:`ReplicatedCoDatabase` — a drop-in for
+  :class:`~repro.core.codatabase.CoDatabase` that the registry writes
+  through.  Every maintenance write is appended to each live replica's
+  write-ahead journal (:mod:`repro.core.journal`) and then applied to
+  that replica's co-database, carrying one monotonic per-co-database
+  **epoch**.  Reads delegate to the first live replica, so registry
+  code and the ``update_operations`` accounting are untouched.
+* :class:`ReplicaRuntime` — one replica servant's state: its
+  co-database, journal, aliveness, and (filled in by the system layer)
+  the ORB/IOR it is served on.  Killing a replica freezes its journal
+  at the crash epoch; restarting replays snapshot + journal and, when
+  the set advanced past the crash epoch, catches up by **anti-entropy**
+  from a live peer (a peer snapshot install).
+* :class:`FailoverCoDatabaseClient` — the routing half: a
+  :class:`~repro.core.discovery.CoDatabaseClient` over the whole
+  replica set.  Calls prefer the first replica whose circuit breaker
+  admits them, fail over to siblings on transport faults or timeouts,
+  re-resolve through the naming service when a cached IOR's generation
+  went stale, and tag / invalidate
+  :class:`~repro.core.metacache.MetadataCache` entries by epoch so a
+  lagging replica can never serve metadata the cache would keep.
+
+``docs/availability.md`` documents the protocol; the S8 bench
+(``BENCH_availability.json``) measures what it buys.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.core.codatabase import CoDatabase
+from repro.core.discovery import CoDatabaseClient
+from repro.core.journal import (JournalEntry, ReplicaJournal,
+                                encode_operation, replay_entries)
+from repro.core.metacache import CACHEABLE_OPERATIONS, MetadataCache
+from repro.core.model import Ontology
+from repro.core.resilience import FAILURE_ERRORS, HealthBoard, call_policy
+from repro.core.snapshot import export_codatabase, import_codatabase
+from repro.errors import CommFailure, WebFinditError
+
+#: Default replication factor: primary only (no behaviour change).
+DEFAULT_REPLICAS = 1
+
+
+def replica_binding(source_name: str, index: int) -> str:
+    """Naming-service path of one co-database replica."""
+    return f"webfindit/codb/{source_name}/r{index}"
+
+
+@dataclass
+class ReplicaRuntime:
+    """One replica servant of a co-database, primary or backup."""
+
+    index: int
+    codatabase: CoDatabase
+    journal: ReplicaJournal
+    alive: bool = True
+    #: How often this replica crashed and recovered (for status views).
+    restarts: int = 0
+    #: Deployment details, owned by the system layer.
+    orb: Any = None
+    ior: Any = None
+    servant: Any = None
+
+    @property
+    def name(self) -> str:
+        return f"r{self.index}"
+
+    @property
+    def epoch(self) -> int:
+        return self.codatabase.epoch
+
+
+class ReplicatedCoDatabase:
+    """N replica co-databases behind one registry-facing facade.
+
+    Mutators journal (WAL) and fan out to every **live** replica;
+    reads delegate to the first live replica.  The facade's
+    :attr:`epoch` counts logical maintenance writes — each live replica
+    that applied the full prefix carries the same number.
+    """
+
+    def __init__(self, owner_name: str, ontology: Optional[Ontology] = None,
+                 product: str = "ObjectStore",
+                 replicas: int = DEFAULT_REPLICAS,
+                 journal_factory: Optional[
+                     Callable[[str, int], ReplicaJournal]] = None,
+                 snapshot_every: Optional[int] = None):
+        if replicas < 1:
+            raise WebFinditError("a co-database needs at least one replica")
+        self.owner_name = owner_name
+        self.ontology = ontology
+        #: Logical maintenance-write version of the whole set.
+        self.epoch = 0
+        self.snapshot_every = snapshot_every
+        self._lock = threading.RLock()
+        self.runtimes: list[ReplicaRuntime] = []
+        for index in range(replicas):
+            journal = journal_factory(owner_name, index) \
+                if journal_factory is not None else ReplicaJournal()
+            self.runtimes.append(ReplicaRuntime(
+                index=index,
+                codatabase=CoDatabase(owner_name, ontology=ontology,
+                                      product=product),
+                journal=journal))
+
+    # ------------------------------------------------------------- replicas --
+
+    @property
+    def primary(self) -> CoDatabase:
+        """The first live replica's co-database (reads go here)."""
+        for runtime in self.runtimes:
+            if runtime.alive:
+                return runtime.codatabase
+        # All replicas down: keep serving in-process reads from r0 —
+        # the *servers* are dead, the registry process is not.
+        return self.runtimes[0].codatabase
+
+    def live_runtimes(self) -> list[ReplicaRuntime]:
+        return [runtime for runtime in self.runtimes if runtime.alive]
+
+    def runtime(self, index: int) -> ReplicaRuntime:
+        try:
+            return self.runtimes[index]
+        except IndexError:
+            raise WebFinditError(
+                f"co-database of {self.owner_name!r} has no replica "
+                f"r{index}") from None
+
+    # ------------------------------------------------------------- mutators --
+
+    def _write(self, operation: str, *args: Any) -> None:
+        """WAL + fan-out: journal first, then apply, on each live
+        replica, all carrying the same post-write epoch.
+
+        A write the *first* replica rejects (application-level
+        validation — an unknown coalition, say) is compensated: the
+        journaled entry and the epoch bump are rolled back before the
+        error propagates, so replay never re-raises it.  Replicas are
+        deterministic state machines over the same prefix, so a write
+        the first accepts cannot fail on a sibling.
+        """
+        with self._lock:
+            self.epoch += 1
+            entry = JournalEntry(epoch=self.epoch, operation=operation,
+                                 arguments=encode_operation(operation, args))
+            appended: list[ReplicaRuntime] = []
+            applied = False
+            try:
+                for runtime in self.runtimes:
+                    if not runtime.alive:
+                        continue  # a dead server misses the write (by design)
+                    runtime.journal.append(entry)
+                    appended.append(runtime)
+                    getattr(runtime.codatabase, operation)(*args)
+                    applied = True
+                    if self.snapshot_every \
+                            and len(runtime.journal) >= self.snapshot_every:
+                        runtime.journal.install_snapshot(
+                            export_codatabase(runtime.codatabase))
+            except Exception:
+                if not applied:
+                    for runtime in appended:
+                        runtime.journal.discard(entry.epoch)
+                    self.epoch -= 1
+                raise
+
+    # The full mutator surface of CoDatabase, journaled and fanned out.
+
+    def advertise(self, description) -> None:
+        self._write("advertise", description)
+
+    def register_coalition(self, coalition) -> None:
+        self._write("register_coalition", coalition)
+
+    def record_membership(self, coalition_name: str) -> None:
+        self._write("record_membership", coalition_name)
+
+    def drop_membership(self, coalition_name: str) -> None:
+        self._write("drop_membership", coalition_name)
+
+    def add_member(self, coalition_name: str, description) -> None:
+        self._write("add_member", coalition_name, description)
+
+    def remove_member(self, coalition_name: str, source_name: str) -> None:
+        self._write("remove_member", coalition_name, source_name)
+
+    def forget_coalition(self, coalition_name: str) -> None:
+        self._write("forget_coalition", coalition_name)
+
+    def add_service_link(self, link) -> None:
+        self._write("add_service_link", link)
+
+    def remove_service_link(self, link) -> None:
+        self._write("remove_service_link", link)
+
+    def attach_document(self, source_name: str, format_name: str,
+                        content: str, url: str = "") -> None:
+        self._write("attach_document", source_name, format_name, content, url)
+
+    # --------------------------------------------------------------- reads --
+
+    @property
+    def memberships(self) -> list[str]:
+        return self.primary.memberships
+
+    @property
+    def local_description(self):
+        return self.primary.local_description
+
+    def __getattr__(self, name: str):
+        # Read operations (find_coalitions, service_links, ...) and
+        # inspection helpers delegate to the first live replica.
+        # Mutators are defined explicitly above and never reach here.
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return getattr(self.primary, name)
+
+    # ---------------------------------------------------- crash & recovery --
+
+    def mark_dead(self, index: int) -> ReplicaRuntime:
+        """Freeze replica *index* at its current epoch (server killed):
+        its journal stops receiving writes until recovery."""
+        with self._lock:
+            runtime = self.runtime(index)
+            runtime.alive = False
+            return runtime
+
+    def recover(self, index: int) -> ReplicaRuntime:
+        """Crash-recover replica *index*: snapshot + journal replay,
+        then anti-entropy from a live peer when the set moved on.
+
+        Returns the runtime with a rebuilt, caught-up co-database; the
+        system layer re-activates the servant and re-binds its IOR.
+        """
+        with self._lock:
+            runtime = self.runtime(index)
+            if runtime.alive:
+                raise WebFinditError(
+                    f"replica r{index} of {self.owner_name!r} is alive; "
+                    f"kill it before recovering")
+            journal = runtime.journal
+            if journal.snapshot is not None:
+                codatabase = import_codatabase(journal.snapshot,
+                                               ontology=self.ontology)
+            else:
+                codatabase = CoDatabase(self.owner_name,
+                                        ontology=self.ontology)
+            replay_entries(codatabase, journal.entries_after(codatabase.epoch))
+            if codatabase.epoch < self.epoch:
+                # The set advanced while this replica was down and its
+                # own journal cannot know the missed writes: catch up
+                # from a live peer's full state (Bayou-style
+                # anti-entropy, collapsed to a snapshot install).
+                payload = export_codatabase(self.primary)
+                codatabase = import_codatabase(payload,
+                                               ontology=self.ontology)
+                journal.install_snapshot(payload)
+            runtime.codatabase = codatabase
+            runtime.alive = True
+            runtime.restarts += 1
+            return runtime
+
+    # --------------------------------------------------------------- status --
+
+    def status(self, health: Optional[HealthBoard] = None) -> dict[str, Any]:
+        """Per-replica view for ``\\replicas`` / ``\\health``."""
+        replicas = []
+        for runtime in self.runtimes:
+            entry = {
+                "name": runtime.name,
+                "alive": runtime.alive,
+                "epoch": runtime.epoch,
+                "lag": self.epoch - runtime.epoch,
+                "journal_entries": len(runtime.journal),
+                "restarts": runtime.restarts,
+                "durable": runtime.journal.path is not None,
+            }
+            if health is not None:
+                entry["breaker"] = health.state(
+                    replica_key(self.owner_name, runtime.index))
+            replicas.append(entry)
+        return {"owner": self.owner_name, "epoch": self.epoch,
+                "replicas": replicas}
+
+
+def replica_key(source_name: str, index: int) -> str:
+    """HealthBoard key of one replica endpoint."""
+    return f"{source_name}/r{index}"
+
+
+@dataclass
+class ReplicaTarget:
+    """What the failover client needs to reach one replica."""
+
+    key: str           # health-board key, e.g. "RBH/r0"
+    binding: str       # naming path, e.g. "webfindit/codb/RBH/r0"
+    proxy: Callable[[], Any]          # current (possibly cached) proxy
+    refresh: Callable[[], tuple[Any, bool]]  # re-resolve; -> (proxy, changed)
+
+
+class FailoverCoDatabaseClient(CoDatabaseClient):
+    """A co-database client that routes across the replica set.
+
+    Order of preference is replica order (primary first).  A replica is
+    skipped without a call when its breaker is open; a transport-level
+    failure (refused, dropped, timed out) records a per-replica health
+    failure, then tries a **naming re-resolve**: when the binding's
+    generation changed (the server restarted and re-bound), the retry
+    goes to the fresh IOR — closing the stale-IOR window — otherwise
+    the caller fails over to the next sibling.  Only when every replica
+    fails does the call raise, which is what lets the discovery layer
+    mark the co-database degraded only when *all* replicas are down.
+
+    With a :class:`~repro.core.metacache.MetadataCache` attached, the
+    four cacheable reads are served from / stored into the cache tagged
+    with the serving replica's epoch; a failover that lands on a
+    replica at a different epoch therefore invalidates rather than
+    reuses the entries (`invalidate_source` is also fired so detail
+    reads cannot mix).
+    """
+
+    def __init__(self, name: str, targets: list[ReplicaTarget],
+                 health: HealthBoard,
+                 cache: Optional[MetadataCache] = None):
+        if not targets:
+            raise WebFinditError(f"no replicas known for {name!r}")
+        super().__init__(targets[0].proxy(), name)
+        self._targets = targets
+        self._health = health
+        self._cache = cache
+        #: Epoch of the replica currently serving this client (learned
+        #: lazily, refreshed after every failover).
+        self._serving_epoch: Optional[int] = None
+        self._serving_index = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        #: Failovers this client performed (result accounting).
+        self.failovers = 0
+
+    # ------------------------------------------------------------- routing --
+
+    def _invoke_target(self, target: ReplicaTarget, operation: str,
+                       *args: Any) -> Any:
+        proxy = target.proxy()
+        with call_policy(idempotent=True):
+            try:
+                return proxy.invoke(operation, *args)
+            except FAILURE_ERRORS:
+                # The cached IOR may be stale: the server might have
+                # restarted and re-bound.  One generation-checked
+                # re-resolve; a changed generation means a fresh
+                # endpoint worth one immediate retry.
+                refreshed, changed = target.refresh()
+                if not changed:
+                    raise
+                return refreshed.invoke(operation, *args)
+
+    def _routed_call(self, operation: str, *args: Any) -> Any:
+        last_error: Optional[Exception] = None
+        start = self._serving_index if self._serving_index \
+            < len(self._targets) else 0
+        order = [*range(start, len(self._targets)), *range(0, start)]
+        for position, index in enumerate(order):
+            target = self._targets[index]
+            if not self._health.allow(target.key):
+                continue
+            try:
+                value = self._invoke_target(target, operation, *args)
+            except FAILURE_ERRORS as exc:
+                self._health.record(target.key, ok=False)
+                last_error = exc
+                continue
+            self._health.record(target.key, ok=True)
+            if position > 0 or index != self._serving_index:
+                self._failed_over(target, index)
+            return value
+        if last_error is not None:
+            raise last_error
+        raise CommFailure(
+            f"all {len(self._targets)} replicas of the co-database of "
+            f"{self.name!r} have open circuits")
+
+    def _failed_over(self, target: ReplicaTarget, index: int) -> None:
+        """Bookkeeping after routing away from the current replica."""
+        self.failovers += 1
+        self._serving_index = index
+        previous_epoch = self._serving_epoch
+        self._serving_epoch = None
+        epoch = self._current_epoch()
+        if self._cache is not None and epoch != previous_epoch:
+            # Entries cached from the old replica are tagged with its
+            # epoch; a mismatch means they can no longer be trusted to
+            # agree with what this replica will serve.
+            self._cache.invalidate_source(self.name)
+
+    def _current_epoch(self) -> Optional[int]:
+        if self._serving_epoch is None:
+            try:
+                self._serving_epoch = int(self._routed_call("epoch"))
+            except FAILURE_ERRORS:
+                return None
+        return self._serving_epoch
+
+    # ----------------------------------------------------- CoDatabaseClient --
+
+    def _call(self, operation: str, *args: Any) -> Any:
+        if self._cache is None or operation not in CACHEABLE_OPERATIONS:
+            self.calls += 1
+            return self._routed_call(operation, *args)
+        epoch = self._current_epoch()
+        hit, value = self._cache.lookup(self.name, operation, args,
+                                        epoch=epoch)
+        if hit:
+            self.cache_hits += 1
+            return value
+        self.cache_misses += 1
+        self.calls += 1
+        value = self._routed_call(operation, *args)
+        self._cache.store(self.name, operation, args, value,
+                          epoch=self._serving_epoch)
+        return value

@@ -15,6 +15,8 @@ from __future__ import annotations
 import json
 from typing import Any, Optional
 
+from repro.core.coalition import Coalition
+from repro.core.codatabase import CoDatabase
 from repro.core.model import Ontology, SourceDescription
 from repro.core.registry import Registry
 from repro.core.service_link import ServiceLink
@@ -22,6 +24,9 @@ from repro.errors import WebFinditError
 
 #: Format marker written into every export.
 FORMAT = "webfindit-topology/1"
+
+#: Format marker for single co-database exports (replica snapshots).
+CODATABASE_FORMAT = "webfindit-codatabase/1"
 
 
 def export_topology(registry: Registry) -> dict[str, Any]:
@@ -49,6 +54,11 @@ def export_topology(registry: Registry) -> dict[str, Any]:
         "service_links": [link.to_wire()
                           for link in registry.service_links()],
         "documents": documents,
+        # Per-co-database maintenance-write versions; authoritative on
+        # import (the rebuild's own write count is an implementation
+        # detail, the recorded epoch is the federation's truth).
+        "epochs": {name: registry.codatabase(name).epoch
+                   for name in registry.source_names()},
     }
 
 
@@ -97,7 +107,100 @@ def import_topology(payload: dict[str, Any],
                                  document.get("format", ""),
                                  document.get("content", ""),
                                  document.get("url", ""))
+    for name, epoch in payload.get("epochs", {}).items():
+        registry.codatabase(name).epoch = int(epoch)
     return registry
+
+
+# ---------------------------------------------------------------------------
+# Single co-database exports (replica snapshots)
+# ---------------------------------------------------------------------------
+
+def export_codatabase(codatabase) -> dict[str, Any]:
+    """Capture one co-database's full state, epoch included.
+
+    This is the replica-snapshot format: a killed co-database server
+    restores from the latest of these plus its journal tail, and
+    anti-entropy ships one of these from a live peer when the tail is
+    not enough (see :mod:`repro.core.replication`).
+    """
+    coalitions = [coalition.to_wire()
+                  for coalition in codatabase.known_coalitions()]
+    members: dict[str, list[dict[str, Any]]] = {}
+    for coalition in coalitions:
+        members[coalition["name"]] = [
+            description.to_wire()
+            for description in codatabase.instances_of(coalition["name"])]
+    description = codatabase.local_description
+    document_owners = {codatabase.owner_name}
+    document_owners.update(
+        member["name"] for names in members.values() for member in names)
+    documents = []
+    for owner in sorted(document_owners):
+        for document in codatabase.documents_of(owner):
+            documents.append({"source": owner, **document})
+    return {
+        "format": CODATABASE_FORMAT,
+        "owner": codatabase.owner_name,
+        "epoch": codatabase.epoch,
+        "description": description.to_wire() if description else None,
+        "memberships": list(codatabase.memberships),
+        "coalitions": coalitions,
+        "members": members,
+        "service_links": [link.to_wire()
+                          for link in codatabase.service_links()],
+        "documents": documents,
+    }
+
+
+def import_codatabase(payload: dict[str, Any],
+                      ontology: Optional[Ontology] = None):
+    """Rebuild one co-database from an :func:`export_codatabase` dump."""
+    if payload.get("format") != CODATABASE_FORMAT:
+        raise WebFinditError(
+            f"unsupported co-database format {payload.get('format')!r}; "
+            f"expected {CODATABASE_FORMAT!r}")
+    codatabase = CoDatabase(payload["owner"], ontology=ontology)
+    if payload.get("description"):
+        codatabase.advertise(
+            SourceDescription.from_wire(payload["description"]))
+    # Parents before children, as during live registration.
+    coalitions = [Coalition.from_wire(wire)
+                  for wire in payload.get("coalitions", [])]
+    known = {coalition.name for coalition in coalitions}
+    registered: set[str] = set()
+    remaining = coalitions
+    while remaining:
+        deferred = []
+        for coalition in remaining:
+            if coalition.parent and coalition.parent in known \
+                    and coalition.parent not in registered:
+                deferred.append(coalition)
+                continue
+            codatabase.register_coalition(coalition)
+            registered.add(coalition.name)
+        if len(deferred) == len(remaining):
+            names = [coalition.name for coalition in deferred]
+            raise WebFinditError(
+                f"cyclic coalition parents in snapshot: {names!r}")
+        remaining = deferred
+    for coalition_name, descriptions in payload.get("members", {}).items():
+        for wire in descriptions:
+            codatabase.add_member(coalition_name,
+                                  SourceDescription.from_wire(wire))
+    for membership in payload.get("memberships", []):
+        codatabase.record_membership(membership)
+    for wire in payload.get("service_links", []):
+        codatabase.add_service_link(ServiceLink.from_wire(wire))
+    for document in payload.get("documents", []):
+        codatabase.attach_document(document["source"],
+                                   document.get("format", ""),
+                                   document.get("content", ""),
+                                   document.get("url", ""))
+    # The recorded epoch is authoritative — the rebuild's own write
+    # count reflects import mechanics, not federation history.
+    codatabase.epoch = int(payload.get("epoch", 0))
+    return codatabase
 
 
 def save_topology(registry: Registry, path: str) -> None:

@@ -24,16 +24,21 @@ co-database / wrapper servants → native engines.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.browser import Browser
 from repro.core.codatabase import CODATABASE_INTERFACE, CoDatabaseServant
 from repro.core.discovery import CoDatabaseClient
+from repro.core.journal import ReplicaJournal
 from repro.core.metacache import CachingCoDatabaseClient, MetadataCache
 from repro.core.model import Ontology, SourceDescription
 from repro.core.query_processor import QueryProcessor, Session
 from repro.core.registry import Registry
+from repro.core.replication import (FailoverCoDatabaseClient,
+                                    ReplicatedCoDatabase, ReplicaTarget,
+                                    replica_binding, replica_key)
 from repro.core.resilience import ResiliencePolicy
 from repro.core.service_link import EndpointKind, ServiceLink
 from repro.errors import UnknownDatabase, WebFinditError
@@ -43,7 +48,8 @@ from repro.oodb.database import ObjectDatabase
 from repro.orb.ior import Ior
 from repro.orb.naming import start_naming_service
 from repro.orb.orb import Orb
-from repro.orb.products import ORBIX, ORBIXWEB, VISIBROKER, OrbProduct, create_orb
+from repro.orb.products import (ORBIX, ORBIXWEB, VISIBROKER, OrbProduct,
+                                create_orb, get_product)
 from repro.orb.transport import InMemoryNetwork, Transport
 from repro.sql.engine import Database
 from repro.wrappers.base import ExportedType, InformationSourceInterface
@@ -72,7 +78,10 @@ class WebFinditSystem:
                  parallel_discovery: bool = False,
                  discovery_workers: Optional[int] = None,
                  resilience: Optional[ResiliencePolicy] = None,
-                 isolate_sources: bool = False):
+                 isolate_sources: bool = False,
+                 replication_factor: int = 1,
+                 durable_dir: Optional[str] = None,
+                 snapshot_every: Optional[int] = None):
         self.transport = transport if transport is not None \
             else InMemoryNetwork()
         self.ontology = ontology
@@ -86,7 +95,25 @@ class WebFinditSystem:
         #: of one per product — each site runs its own server, so a
         #: fault plan can kill exactly one co-database's endpoint.
         self.isolate_sources = isolate_sources
-        self.registry = Registry(ontology=ontology)
+        #: Availability knobs: N replica servants per co-database, each
+        #: on its own endpoint, with write-ahead journals (on disk when
+        #: *durable_dir* is set) and optional snapshot cadence.  The
+        #: defaults keep the seed's single-servant behaviour.
+        self.replication_factor = max(1, replication_factor)
+        self.durable_dir = durable_dir
+        self.snapshot_every = snapshot_every
+        self._replicated: dict[str, ReplicatedCoDatabase] = {}
+        #: Generation-checked proxy cache: naming binding -> (proxy,
+        #: generation).  Shared by every failover client so one
+        #: re-resolve heals them all.
+        self._replica_proxies: dict[str, tuple] = {}
+        replicate = (self.replication_factor > 1
+                     or durable_dir is not None
+                     or snapshot_every is not None)
+        self.registry = Registry(
+            ontology=ontology,
+            codatabase_factory=(self._replicated_codatabase
+                                if replicate else None))
         #: Fault-tolerance policy every query processor shares.  Its
         #: health board *is* the registry's, so breaker memory persists
         #: across sessions and engines (and `remove_source` clears it).
@@ -137,6 +164,21 @@ class WebFinditSystem:
             self._orbs[key] = orb
         return orb
 
+    def _replica_orb(self, source_name: str, index: int,
+                     product: OrbProduct) -> Orb:
+        """A fresh ORB for one co-database replica.
+
+        Every replica gets its own endpoint so killing one closes
+        exactly that replica's port; a restart *replaces* the entry (a
+        recovered server is a new process on a new port).
+        """
+        key = f"{product.name}/{source_name}/r{index}"
+        host = (f"{source_name.lower().replace(' ', '-')}"
+                f"-r{index}.webfindit.net")
+        orb = create_orb(product, self.transport, host=host)
+        self._orbs[key] = orb
+        return orb
+
     # ------------------------------------------------------------- registration --
 
     def register_relational_source(
@@ -182,6 +224,42 @@ class WebFinditSystem:
         driver.register_database(database)
         return driver
 
+    def _replicated_codatabase(self, name: str) -> ReplicatedCoDatabase:
+        """Registry hook: build the replica set behind one co-database."""
+        journal_factory = None
+        if self.durable_dir is not None:
+            root = self.durable_dir
+
+            def journal_factory(owner: str, index: int) -> ReplicaJournal:
+                slug = owner.lower().replace(" ", "-").replace("/", "-")
+                return ReplicaJournal(os.path.join(
+                    root, slug, f"r{index}", "journal.jsonl"))
+
+        facade = ReplicatedCoDatabase(
+            name, ontology=self.ontology,
+            replicas=self.replication_factor,
+            journal_factory=journal_factory,
+            snapshot_every=self.snapshot_every)
+        self._replicated[name] = facade
+        return facade
+
+    def _deploy_replicas(self, name: str, facade: ReplicatedCoDatabase,
+                         product: OrbProduct) -> Ior:
+        """Activate one CoDatabaseServant per replica, each on its own
+        ORB, bound under ``webfindit/codb/<name>/r<i>``.
+
+        Returns r0's IOR so the base ``webfindit/codb/<name>`` binding
+        (what non-failover clients resolve) points at the primary.
+        """
+        for runtime in facade.runtimes:
+            orb = self._replica_orb(name, runtime.index, product)
+            servant = CoDatabaseServant(runtime.codatabase)
+            ior = orb.activate(servant, CODATABASE_INTERFACE,
+                               object_name=f"codb-{name}-r{runtime.index}")
+            runtime.orb, runtime.ior, runtime.servant = orb, ior, servant
+            self.naming.bind(replica_binding(name, runtime.index), ior)
+        return facade.runtimes[0].ior
+
     def _deploy(self, wrapper: InformationSourceInterface,
                 description: SourceDescription, dbms: str,
                 orb_product: OrbProduct, gateway: str) -> None:
@@ -207,9 +285,12 @@ class WebFinditSystem:
         codatabase = self.registry.add_source(description)
         orb = self._source_orb(name, orb_product) if self.isolate_sources \
             else self.orb_for(orb_product)
-        codb_ior = orb.activate(CoDatabaseServant(codatabase),
-                                CODATABASE_INTERFACE,
-                                object_name=f"codb-{name}")
+        if isinstance(codatabase, ReplicatedCoDatabase):
+            codb_ior = self._deploy_replicas(name, codatabase, orb_product)
+        else:
+            codb_ior = orb.activate(CoDatabaseServant(codatabase),
+                                    CODATABASE_INTERFACE,
+                                    object_name=f"codb-{name}")
         isi_ior = serve_isi(orb, wrapper, object_name=f"isi-{name}")
         self.naming.bind(f"webfindit/codb/{name}", codb_ior)
         self.naming.bind(f"webfindit/isi/{name}", isi_ior)
@@ -246,6 +327,73 @@ class WebFinditSystem:
                         content: str, url: str = "") -> None:
         self.registry.attach_document(source_name, format_name, content, url)
 
+    # ------------------------------------------------------------ replication --
+
+    def _facade(self, source_name: str) -> ReplicatedCoDatabase:
+        facade = self._replicated.get(source_name)
+        if facade is None:
+            raise WebFinditError(
+                f"source {source_name!r} is not replicated (deploy the "
+                f"system with replication_factor > 1 or a durable_dir)")
+        return facade
+
+    def kill_replica(self, source_name: str, index: int) -> None:
+        """Crash one co-database replica server.
+
+        Its ORB endpoint closes, its journal freezes at the crash
+        epoch, and its naming binding is left dangling — a crashed
+        server cannot unbind itself, which is precisely the stale-IOR
+        situation the generation counters exist for.
+        """
+        facade = self._facade(source_name)
+        runtime = facade.mark_dead(index)
+        if runtime.orb is not None:
+            runtime.orb.shutdown()
+
+    def restart_replica(self, source_name: str, index: int) -> None:
+        """Crash-recover one replica and bring it back into rotation.
+
+        Recovery order: rebuild from snapshot + journal replay (with
+        anti-entropy from a live peer when the set advanced past the
+        crash epoch), re-activate the servant on a fresh endpoint,
+        ``rebind`` its name (bumping the binding generation so cached
+        proxies self-invalidate), close its breaker, and drop any
+        metadata cached from the dead incarnation.
+        """
+        facade = self._facade(source_name)
+        runtime = facade.recover(index)
+        record = self._deployments.get(source_name)
+        product = get_product(record.orb_product) if record is not None \
+            else VISIBROKER
+        orb = self._replica_orb(source_name, index, product)
+        servant = CoDatabaseServant(runtime.codatabase)
+        ior = orb.activate(servant, CODATABASE_INTERFACE,
+                           object_name=f"codb-{source_name}-r{index}")
+        runtime.orb, runtime.ior, runtime.servant = orb, ior, servant
+        binding = replica_binding(source_name, index)
+        self.naming.rebind(binding, ior)
+        self._replica_proxies.pop(binding, None)
+        if index == 0:
+            # The base name tracks the primary for non-failover clients.
+            self.naming.rebind(f"webfindit/codb/{source_name}", ior)
+            self._ior_cache.pop(f"codb/{source_name}", None)
+        # The replica demonstrably answered recovery; close its breaker
+        # — and the source-level one discovery keys on, since a source
+        # with a live replica is consultable again — so the next call
+        # routes to it without waiting out a cooldown.
+        self.registry.health.record(replica_key(source_name, index), ok=True)
+        self.registry.health.record(source_name, ok=True)
+        if self.metadata_cache is not None:
+            self.metadata_cache.invalidate_source(source_name)
+
+    def replica_status(self, source_name: Optional[str] = None) -> dict:
+        """Per-replica availability view (the CLI's ``\\replicas``)."""
+        health = self.registry.health
+        if source_name is not None:
+            return self._facade(source_name).status(health=health)
+        return {name: facade.status(health=health)
+                for name, facade in sorted(self._replicated.items())}
+
     # ----------------------------------------------------------------- access --
 
     def _client_orb(self) -> Orb:
@@ -259,8 +407,60 @@ class WebFinditSystem:
             self._ior_cache[cache_key] = ior
         return ior
 
+    def _replica_proxy(self, binding: str):
+        """The current proxy for one replica binding (cached)."""
+        cached = self._replica_proxies.get(binding)
+        if cached is not None:
+            return cached[0]
+        ior, generation = self.naming.resolve_with_generation(binding)
+        proxy = self._client_orb().proxy(ior, CODATABASE_INTERFACE)
+        self._replica_proxies[binding] = (proxy, generation)
+        return proxy
+
+    def _refresh_replica_proxy(self, binding: str):
+        """Generation-checked re-resolve: ``(proxy, changed)``.
+
+        ``changed`` is True only when the binding was re-bound since the
+        cached proxy was built — the signal that a fresh endpoint is
+        worth one immediate retry (the stale-IOR window).
+        """
+        cached = self._replica_proxies.get(binding)
+        ior, generation = self.naming.resolve_with_generation(binding)
+        if cached is not None and cached[1] == generation:
+            return cached[0], False
+        proxy = self._client_orb().proxy(ior, CODATABASE_INTERFACE)
+        self._replica_proxies[binding] = (proxy, generation)
+        return proxy, True
+
+    def _failover_client(self, name: str,
+                         facade: ReplicatedCoDatabase) -> CoDatabaseClient:
+        targets = []
+        for runtime in facade.runtimes:
+            binding = replica_binding(name, runtime.index)
+            targets.append(ReplicaTarget(
+                key=replica_key(name, runtime.index),
+                binding=binding,
+                proxy=lambda binding=binding: self._replica_proxy(binding),
+                refresh=lambda binding=binding:
+                    self._refresh_replica_proxy(binding)))
+        return FailoverCoDatabaseClient(name, targets,
+                                        health=self.registry.health,
+                                        cache=self.metadata_cache)
+
     def codatabase_client(self, database_name: str) -> CoDatabaseClient:
-        """A CORBA-backed metadata client for one source's co-database."""
+        """A CORBA-backed metadata client for one source's co-database.
+
+        Replicated sources get a failover client over the whole replica
+        set; single-servant sources keep the seed's direct (optionally
+        caching) client.
+        """
+        facade = self._replicated.get(database_name)
+        if facade is not None:
+            try:
+                return self._failover_client(database_name, facade)
+            except Exception as exc:
+                raise UnknownDatabase(
+                    f"no co-database bound for {database_name!r}") from exc
         try:
             ior = self._resolve_ior("codb", database_name)
         except Exception as exc:
@@ -340,6 +540,21 @@ class WebFinditSystem:
             "metadata_cache": (self.metadata_cache.stats()
                                if self.metadata_cache is not None else None),
             "resilience": self.resilience.health.snapshot(),
+            "replication": self._replication_metrics(),
+        }
+
+    def _replication_metrics(self) -> Optional[dict]:
+        if not self._replicated:
+            return None
+        runtimes = [runtime for facade in self._replicated.values()
+                    for runtime in facade.runtimes]
+        return {
+            "sources": len(self._replicated),
+            "replicas": len(runtimes),
+            "alive": sum(1 for runtime in runtimes if runtime.alive),
+            "restarts": sum(runtime.restarts for runtime in runtimes),
+            "epochs": {name: facade.epoch
+                       for name, facade in sorted(self._replicated.items())},
         }
 
     def reset_metrics(self) -> None:

@@ -23,25 +23,40 @@ NAMING_INTERFACE: InterfaceDef = (
     .operation("bind", "name", "ior", doc="Bind a new name (error if bound)")
     .operation("rebind", "name", "ior", doc="Bind, replacing any binding")
     .operation("resolve", "name", doc="IOR string bound to name")
+    .operation("resolve_with_generation", "name",
+               doc="IOR string plus the binding's generation counter")
     .operation("unbind", "name", doc="Remove a binding")
     .operation("list_names", "prefix", doc="All bound names under prefix")
     .build())
 
 
 class NamingServant:
-    """Server-side implementation of the naming service."""
+    """Server-side implementation of the naming service.
+
+    Every binding carries a **generation counter**: 1 when first bound,
+    bumped atomically by each ``rebind``.  A client that cached an IOR
+    (and a proxy built from it) can therefore tell, in one resolve,
+    whether the name was re-bound behind its back — the stale-IOR
+    window a restarted server would otherwise leave open.
+    """
 
     def __init__(self) -> None:
         self._bindings: dict[str, str] = {}
+        self._generations: dict[str, int] = {}
 
     def bind(self, name: str, ior: str) -> bool:
         if name in self._bindings:
             raise NamingError(f"name {name!r} already bound")
         self._bindings[name] = ior
+        self._generations[name] = self._generations.get(name, 0) + 1
         return True
 
     def rebind(self, name: str, ior: str) -> bool:
+        # The binding and its generation move together: a resolver can
+        # never observe the new IOR with the old generation or vice
+        # versa (the servant is dispatched one request at a time).
         self._bindings[name] = ior
+        self._generations[name] = self._generations.get(name, 0) + 1
         return True
 
     def resolve(self, name: str) -> str:
@@ -49,6 +64,10 @@ class NamingServant:
         if ior is None:
             raise NamingError(f"name {name!r} not bound")
         return ior
+
+    def resolve_with_generation(self, name: str) -> dict:
+        return {"ior": self.resolve(name),
+                "generation": self._generations.get(name, 0)}
 
     def unbind(self, name: str) -> bool:
         if name not in self._bindings:
@@ -75,6 +94,17 @@ class NamingClient:
 
     def resolve(self, name: str) -> Ior:
         return Ior.from_string(self._proxy.invoke("resolve", name))
+
+    def resolve_with_generation(self, name: str) -> tuple[Ior, int]:
+        """Resolve *name* to ``(ior, generation)``.
+
+        The generation lets callers that cache IORs/proxies detect a
+        ``rebind`` (e.g. a co-database server that restarted on a new
+        endpoint) and atomically drop their stale cache entry.
+        """
+        payload = self._proxy.invoke("resolve_with_generation", name)
+        return (Ior.from_string(payload["ior"]),
+                int(payload.get("generation", 0)))
 
     def resolve_proxy(self, orb: Orb, name: str,
                       interface: Optional[InterfaceDef] = None) -> Proxy:

@@ -268,3 +268,42 @@ def test_every_cacheable_operation_round_trips(operation):
     call()
     call()
     assert client.cache_hits == 1
+
+
+class TestEpochTaggedEntries:
+    """Replication coherence: entries carry the serving replica's epoch
+    and die on mismatch (see docs/availability.md)."""
+
+    def test_same_epoch_hits(self):
+        cache = MetadataCache()
+        cache.store("RBH", "memberships", (), ["Research"], epoch=4)
+        hit, value = cache.lookup("RBH", "memberships", (), epoch=4)
+        assert hit and value == ["Research"]
+
+    def test_mismatched_epoch_drops_the_entry(self):
+        cache = MetadataCache()
+        cache.store("RBH", "memberships", (), ["Research"], epoch=4)
+        hit, __ = cache.lookup("RBH", "memberships", (), epoch=5)
+        assert not hit
+        assert cache.stats()["epoch_invalidations"] == 1
+        assert len(cache) == 0  # dropped, not just skipped
+
+    def test_unversioned_entries_match_any_epoch(self):
+        cache = MetadataCache()
+        cache.store("RBH", "memberships", (), ["Research"])
+        hit, __ = cache.lookup("RBH", "memberships", (), epoch=7)
+        assert hit
+
+    def test_versioned_entries_match_unversioned_lookups(self):
+        cache = MetadataCache()
+        cache.store("RBH", "memberships", (), ["Research"], epoch=4)
+        hit, __ = cache.lookup("RBH", "memberships", ())
+        assert hit
+
+    def test_invalidate_source_drops_only_that_owner(self):
+        cache = MetadataCache()
+        cache.store("RBH", "memberships", (), ["Research"], epoch=4)
+        cache.store("QUT", "memberships", (), ["Research"], epoch=2)
+        cache.invalidate_source("RBH")
+        assert not cache.lookup("RBH", "memberships", (), epoch=4)[0]
+        assert cache.lookup("QUT", "memberships", (), epoch=2)[0]

@@ -1,0 +1,390 @@
+"""The availability layer: replica sets, journals, crash recovery,
+and failover routing (docs/availability.md)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.coalition import Coalition
+from repro.core.journal import (JournalEntry, ReplicaJournal, apply_entry,
+                                encode_operation, replay_entries)
+from repro.core.metacache import MetadataCache
+from repro.core.model import SourceDescription
+from repro.core.replication import (FailoverCoDatabaseClient,
+                                    ReplicatedCoDatabase, ReplicaTarget,
+                                    replica_binding, replica_key)
+from repro.core.resilience import HealthBoard
+from repro.core.service_link import EndpointKind, ServiceLink
+from repro.core.snapshot import export_codatabase, import_codatabase
+from repro.errors import CommFailure, WebFinditError
+
+
+def description(name="Alpha", info="cardiology"):
+    return SourceDescription(name=name, information_type=info,
+                             location=f"{name.lower()}.net")
+
+
+def populated(replicas=2, **kwargs):
+    """A replica set with a small but full mutation history."""
+    facade = ReplicatedCoDatabase("Alpha", replicas=replicas, **kwargs)
+    facade.advertise(description())
+    facade.register_coalition(Coalition("Cardio", "cardiology"))
+    facade.record_membership("Cardio")
+    facade.add_member("Cardio", description("Beta"))
+    facade.add_service_link(ServiceLink(
+        EndpointKind.COALITION, "Cardio", EndpointKind.DATABASE, "Beta",
+        information_type="cardiology"))
+    facade.attach_document("Alpha", "text", "about alpha")
+    return facade
+
+
+class TestReplicatedWrites:
+    def test_every_live_replica_applies_every_write(self):
+        facade = populated(replicas=3)
+        for runtime in facade.runtimes:
+            codb = runtime.codatabase
+            assert codb.memberships == ["Cardio"]
+            assert [c.name for c in codb.known_coalitions()] == ["Cardio"]
+            assert [d["content"] for d in codb.documents_of("Alpha")] \
+                == ["about alpha"]
+
+    def test_replicas_share_the_facade_epoch(self):
+        facade = populated(replicas=3)
+        assert facade.epoch == 6
+        assert [r.epoch for r in facade.runtimes] == [6, 6, 6]
+
+    def test_epoch_bumps_even_on_logical_noops(self):
+        facade = ReplicatedCoDatabase("Alpha", replicas=2)
+        facade.register_coalition(Coalition("Cardio", "cardiology"))
+        facade.record_membership("Cardio")
+        facade.record_membership("Cardio")  # no-op, but still a write
+        assert facade.epoch == 3
+        assert all(r.epoch == 3 for r in facade.runtimes)
+
+    def test_rejected_writes_are_compensated(self):
+        """A write the co-database refuses must not poison the journal
+        or advance the version — replay would otherwise re-raise it."""
+        facade = ReplicatedCoDatabase("Alpha", replicas=2)
+        with pytest.raises(WebFinditError):
+            facade.record_membership("NoSuchCoalition")
+        assert facade.epoch == 0
+        assert all(len(r.journal) == 0 for r in facade.runtimes)
+        facade.mark_dead(1)
+        facade.recover(1)  # replay stays clean
+
+    def test_journal_is_written_before_the_apply(self):
+        facade = ReplicatedCoDatabase("Alpha", replicas=1)
+        facade.advertise(description())
+        [entry] = facade.runtimes[0].journal.entries()
+        assert entry.operation == "advertise"
+        assert entry.epoch == 1
+        assert entry.arguments[0]["name"] == "Alpha"
+
+    def test_reads_delegate_to_first_live_replica(self):
+        facade = populated(replicas=2)
+        assert facade.memberships == ["Cardio"]
+        facade.mark_dead(0)
+        assert facade.memberships == ["Cardio"]  # now served by r1
+
+    def test_needs_at_least_one_replica(self):
+        with pytest.raises(WebFinditError):
+            ReplicatedCoDatabase("Alpha", replicas=0)
+
+
+class TestCrashRecovery:
+    def test_dead_replica_misses_writes(self):
+        facade = populated(replicas=2)
+        facade.mark_dead(1)
+        facade.attach_document("Alpha", "text", "while r1 was down")
+        assert facade.runtimes[0].epoch == 7
+        assert facade.runtimes[1].epoch == 6  # frozen at the crash
+
+    def test_recover_replays_the_journal(self):
+        facade = populated(replicas=2)
+        facade.mark_dead(1)
+        facade.recover(1)
+        runtime = facade.runtimes[1]
+        assert runtime.epoch == facade.epoch
+        assert runtime.codatabase.memberships == ["Cardio"]
+        assert runtime.restarts == 1
+
+    def test_recover_catches_up_by_anti_entropy(self):
+        facade = populated(replicas=2)
+        facade.mark_dead(1)
+        facade.attach_document("Alpha", "text", "missed")
+        facade.recover(1)
+        codb = facade.runtimes[1].codatabase
+        assert codb.epoch == facade.epoch == 7
+        assert [d["content"] for d in codb.documents_of("Alpha")] \
+            == ["about alpha", "missed"]
+        # Anti-entropy installed a snapshot covering the catch-up.
+        assert facade.runtimes[1].journal.snapshot is not None
+
+    def test_recover_requires_a_dead_replica(self):
+        facade = populated(replicas=2)
+        with pytest.raises(WebFinditError):
+            facade.recover(0)
+
+    def test_unknown_replica_index(self):
+        facade = populated(replicas=2)
+        with pytest.raises(WebFinditError):
+            facade.mark_dead(5)
+
+    def test_snapshot_cadence_truncates_journals(self):
+        facade = populated(replicas=1, snapshot_every=3)
+        journal = facade.runtimes[0].journal
+        assert journal.snapshot is not None
+        assert len(journal) < 6  # older entries subsumed by the snapshot
+        facade.mark_dead(0)
+        facade.recover(0)
+        assert facade.runtimes[0].epoch == facade.epoch
+
+    def test_durable_journal_survives_process_restart(self, tmp_path):
+        def factory(owner, index):
+            return ReplicaJournal(
+                str(tmp_path / owner / f"r{index}" / "journal.jsonl"))
+
+        facade = populated(replicas=1, journal_factory=factory)
+        # A "new process": fresh journal object over the same files.
+        reloaded = factory("Alpha", 0)
+        assert len(reloaded) == 6
+        assert reloaded.last_epoch == 6
+
+
+WRITES = [
+    ("advertise", lambda i: (description(),)),
+    ("register_coalition", lambda i: (Coalition(f"C{i}", "cardiology"),)),
+    ("record_membership", lambda i: (f"C{i}",)),
+    ("add_member", lambda i: (f"C{i}", description(f"M{i}"))),
+    ("attach_document", lambda i: ("Alpha", "text", f"doc {i}")),
+    ("add_service_link", lambda i: (ServiceLink(
+        EndpointKind.DATABASE, "Alpha", EndpointKind.DATABASE, f"M{i}",
+        information_type="cardiology"),)),
+]
+
+
+def equivalent_state(codatabase):
+    """A comparable digest of one co-database's full state."""
+    return {
+        "epoch": codatabase.epoch,
+        "memberships": sorted(codatabase.memberships),
+        "coalitions": sorted(c.name for c in codatabase.known_coalitions()),
+        "documents": sorted(d["content"]
+                            for d in codatabase.documents_of("Alpha")),
+        "links": sorted(str(link) for link in codatabase.service_links()),
+    }
+
+
+class TestCrashRecoveryProperty:
+    @settings(max_examples=40, deadline=None)
+    @given(script=st.lists(st.integers(min_value=0,
+                                       max_value=len(WRITES) - 1),
+                           min_size=1, max_size=20),
+           kill_after=st.integers(min_value=0, max_value=20),
+           snapshot_every=st.one_of(st.none(),
+                                    st.integers(min_value=1, max_value=5)))
+    def test_killed_replica_recovers_to_peer_state(self, script, kill_after,
+                                                   snapshot_every):
+        """Kill r1 after K writes, keep writing, restart: r1 must equal
+        the never-killed r0 exactly (state and epoch)."""
+        kill_after = min(kill_after, len(script))
+        facade = ReplicatedCoDatabase("Alpha", replicas=2,
+                                      snapshot_every=snapshot_every)
+        accepted = 0
+        for step, choice in enumerate(script):
+            if step == kill_after:
+                facade.mark_dead(1)
+            operation, make_args = WRITES[choice]
+            try:
+                getattr(facade, operation)(*make_args(step))
+                accepted += 1
+            except WebFinditError:
+                pass  # invalid write, compensated — no epoch consumed
+        if kill_after >= len(script):
+            facade.mark_dead(1)
+        facade.recover(1)
+        survivor, recovered = facade.runtimes
+        assert equivalent_state(recovered.codatabase) \
+            == equivalent_state(survivor.codatabase)
+        assert recovered.epoch == facade.epoch == accepted
+
+
+class TestJournalReplay:
+    def test_replay_skips_already_applied_epochs(self):
+        facade = populated(replicas=1)
+        codatabase = facade.runtimes[0].codatabase
+        entries = facade.runtimes[0].journal.entries()
+        assert replay_entries(codatabase, entries) == 0  # all applied
+
+    def test_apply_entry_rejects_unknown_operations(self):
+        facade = populated(replicas=1)
+        bogus = JournalEntry(epoch=99, operation="drop_everything",
+                             arguments=())
+        with pytest.raises(WebFinditError):
+            apply_entry(facade.runtimes[0].codatabase, bogus)
+
+    def test_encode_operation_wires_model_objects(self):
+        encoded = encode_operation(
+            "add_member", ("Cardio", description("Beta")))
+        assert encoded[0] == "Cardio"
+        assert encoded[1]["name"] == "Beta"
+
+    def test_entries_after_filters_by_epoch(self):
+        facade = populated(replicas=1)
+        journal = facade.runtimes[0].journal
+        assert [e.epoch for e in journal.entries_after(4)] == [5, 6]
+
+
+class TestCodatabaseSnapshot:
+    def test_round_trip_preserves_documents_and_epoch(self):
+        facade = populated(replicas=1)
+        original = facade.runtimes[0].codatabase
+        restored = import_codatabase(export_codatabase(original))
+        assert equivalent_state(restored) == equivalent_state(original)
+        assert restored.epoch == original.epoch == 6
+
+    def test_rejects_foreign_formats(self):
+        with pytest.raises(WebFinditError):
+            import_codatabase({"format": "something-else/9"})
+
+
+class _Endpoint:
+    """A scriptable replica endpoint for routing tests."""
+
+    def __init__(self, name, epoch=1):
+        self.name = name
+        self.alive = True
+        self.epoch = epoch
+        self.invocations = []
+        self.generation = 1
+
+    def invoke(self, operation, *args):
+        self.invocations.append(operation)
+        if not self.alive:
+            raise CommFailure(f"{self.name} is down")
+        if operation == "epoch":
+            return self.epoch
+        if operation == "memberships":
+            return ["Cardio"]
+        if operation == "documents_of":
+            return []
+        return f"{self.name}:{operation}"
+
+    def target(self, source="Alpha", index=0):
+        return ReplicaTarget(
+            key=replica_key(source, index),
+            binding=replica_binding(source, index),
+            proxy=lambda: self,
+            refresh=lambda: (self, False))
+
+
+class TestFailoverClient:
+    def test_prefers_the_primary(self):
+        r0, r1 = _Endpoint("r0"), _Endpoint("r1")
+        client = FailoverCoDatabaseClient(
+            "Alpha", [r0.target(index=0), r1.target("Alpha", 1)],
+            health=HealthBoard())
+        assert client.memberships() == ["Cardio"]
+        assert r1.invocations == []
+
+    def test_fails_over_when_the_primary_dies(self):
+        r0, r1 = _Endpoint("r0"), _Endpoint("r1")
+        health = HealthBoard()
+        client = FailoverCoDatabaseClient(
+            "Alpha", [r0.target(index=0), r1.target("Alpha", 1)],
+            health=health)
+        r0.alive = False
+        assert client.memberships() == ["Cardio"]
+        assert client.failovers == 1
+        # The failure was charged to r0's breaker, not the source's.
+        assert health.snapshot()[replica_key("Alpha", 0)]["failures"] == 1
+
+    def test_sticks_to_the_failover_target(self):
+        r0, r1 = _Endpoint("r0"), _Endpoint("r1")
+        client = FailoverCoDatabaseClient(
+            "Alpha", [r0.target(index=0), r1.target("Alpha", 1)],
+            health=HealthBoard())
+        r0.alive = False
+        client.memberships()
+        r0.invocations.clear()
+        client.memberships()
+        assert r0.invocations == []  # r1 is now the serving replica
+
+    def test_raises_only_when_every_replica_fails(self):
+        r0, r1 = _Endpoint("r0"), _Endpoint("r1")
+        client = FailoverCoDatabaseClient(
+            "Alpha", [r0.target(index=0), r1.target("Alpha", 1)],
+            health=HealthBoard())
+        r0.alive = r1.alive = False
+        with pytest.raises(CommFailure):
+            client.memberships()
+
+    def test_open_breakers_are_skipped_without_a_call(self):
+        r0, r1 = _Endpoint("r0"), _Endpoint("r1")
+        health = HealthBoard(failure_threshold=1, reset_timeout=3600.0)
+        client = FailoverCoDatabaseClient(
+            "Alpha", [r0.target(index=0), r1.target("Alpha", 1)],
+            health=health)
+        r0.alive = False
+        client.memberships()  # trips r0's breaker
+        r0.invocations.clear()
+        client._serving_index = 0  # force routing from the top again
+        client.memberships()
+        assert r0.invocations == []  # skipped: circuit open
+
+    def test_stale_ior_retry_uses_the_refreshed_proxy(self):
+        dead, fresh = _Endpoint("old"), _Endpoint("new")
+        dead.alive = False
+        target = ReplicaTarget(
+            key=replica_key("Alpha", 0),
+            binding=replica_binding("Alpha", 0),
+            proxy=lambda: dead,
+            refresh=lambda: (fresh, True))  # generation changed
+        client = FailoverCoDatabaseClient("Alpha", [target],
+                                          health=HealthBoard())
+        assert client.memberships() == ["Cardio"]
+        assert client.failovers == 0  # healed in place, no sibling used
+
+
+class TestFailoverCacheCoherence:
+    def test_cache_entries_are_epoch_tagged(self):
+        r0, r1 = _Endpoint("r0", epoch=5), _Endpoint("r1", epoch=5)
+        cache = MetadataCache()
+        client = FailoverCoDatabaseClient(
+            "Alpha", [r0.target(index=0), r1.target("Alpha", 1)],
+            health=HealthBoard(), cache=cache)
+        client.memberships()
+        assert client.memberships() == ["Cardio"]
+        assert client.cache_hits == 1
+
+    def test_failover_to_lagging_replica_invalidates_the_source(self):
+        r0, r1 = _Endpoint("r0", epoch=5), _Endpoint("r1", epoch=3)
+        cache = MetadataCache()
+        client = FailoverCoDatabaseClient(
+            "Alpha", [r0.target(index=0), r1.target("Alpha", 1)],
+            health=HealthBoard(), cache=cache)
+        client.memberships()  # cached under r0's epoch 5
+        r0.alive = False
+        # A cacheable read would still be served from the cache (the
+        # TTL-bounded staleness rule); an uncacheable one must route —
+        # and notice the primary is gone.
+        client.documents_of("Alpha")
+        assert client.failovers == 1
+        assert cache.stats()["invalidations"] > 0  # epoch 5 != 3
+        # Reads now come from r1 and re-cache under its epoch.
+        r1.invocations.clear()
+        client.memberships()
+        client.memberships()
+        assert r1.invocations.count("memberships") == 1
+
+    def test_replica_set_status_reports_lag_and_breakers(self):
+        facade = populated(replicas=2)
+        facade.mark_dead(1)
+        facade.attach_document("Alpha", "text", "more")
+        health = HealthBoard()
+        health.record(replica_key("Alpha", 1), ok=False)
+        status = facade.status(health=health)
+        r0, r1 = status["replicas"]
+        assert (r0["lag"], r1["lag"]) == (0, 1)
+        assert not r1["alive"]
+        assert r1["breaker"] == "closed"

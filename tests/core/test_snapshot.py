@@ -106,3 +106,33 @@ class TestValidation:
         rbh = restored.codatabase("Royal Brisbane Hospital")
         assert rbh.memberships == ["Research", "Medical"]
         assert len(rbh.documents_of("Royal Brisbane Hospital")) == 2
+
+
+class TestEpochRoundTrip:
+    """Replication satellite: epochs and documents survive snapshots."""
+
+    def test_topology_export_carries_epochs(self):
+        registry = build_registry()
+        payload = export_topology(registry)
+        assert payload["epochs"] == registry.epochs()
+        assert all(epoch > 0 for epoch in payload["epochs"].values())
+
+    def test_topology_import_restores_epochs(self):
+        registry = build_registry()
+        restored = import_topology(export_topology(registry))
+        assert restored.epochs() == registry.epochs()
+
+    def test_documents_round_trip(self):
+        registry = build_registry()
+        restored = import_topology(export_topology(registry))
+        original_docs = registry.codatabase("A").documents_of("A")
+        assert restored.codatabase("A").documents_of("A") == original_docs
+        assert original_docs  # the fixture attaches one
+
+    def test_epoch_is_authoritative_not_recounted(self):
+        """An imported registry's epochs reflect federation history, not
+        however many writes the rebuild itself performed."""
+        registry = build_registry()
+        registry.codatabase("A").epoch = 99
+        restored = import_topology(export_topology(registry))
+        assert restored.codatabase("A").epoch == 99
