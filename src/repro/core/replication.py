@@ -98,6 +98,7 @@ class ReplicatedCoDatabase:
             raise WebFinditError("a co-database needs at least one replica")
         self.owner_name = owner_name
         self.ontology = ontology
+        self._product = product
         #: Logical maintenance-write version of the whole set.
         self.epoch = 0
         self.snapshot_every = snapshot_every
@@ -106,11 +107,32 @@ class ReplicatedCoDatabase:
         for index in range(replicas):
             journal = journal_factory(owner_name, index) \
                 if journal_factory is not None else ReplicaJournal()
+            if journal.snapshot is not None or len(journal):
+                # A durable journal from an earlier process: restore the
+                # replica from it instead of starting empty — otherwise
+                # new writes would re-issue already-used epochs and a
+                # later replay would interleave the two runs.
+                codatabase = self._rebuild(journal)
+            else:
+                codatabase = CoDatabase(owner_name, ontology=ontology,
+                                        product=product)
             self.runtimes.append(ReplicaRuntime(
-                index=index,
-                codatabase=CoDatabase(owner_name, ontology=ontology,
-                                      product=product),
-                journal=journal))
+                index=index, codatabase=codatabase, journal=journal))
+        # The facade resumes from the most advanced replica; the others
+        # (shorter journals after an unclean stop, or fresh replicas
+        # when the factor was raised) catch up by anti-entropy.
+        self.epoch = max(runtime.epoch for runtime in self.runtimes)
+        if self.epoch:
+            leader = max(self.runtimes, key=lambda runtime: runtime.epoch)
+            payload = None
+            for runtime in self.runtimes:
+                if runtime.epoch == self.epoch:
+                    continue
+                if payload is None:
+                    payload = export_codatabase(leader.codatabase)
+                runtime.codatabase = import_codatabase(
+                    payload, ontology=self.ontology)
+                runtime.journal.install_snapshot(payload)
 
     # ------------------------------------------------------------- replicas --
 
@@ -141,37 +163,50 @@ class ReplicatedCoDatabase:
         """WAL + fan-out: journal first, then apply, on each live
         replica, all carrying the same post-write epoch.
 
-        A write the *first* replica rejects (application-level
+        With *no* live replica the write is refused outright — bumping
+        the epoch for a write nobody journals would lose it silently
+        (anti-entropy has no source that knows it) and leave the facade
+        permanently ahead of every replica.
+
+        A write the *first* live replica rejects (application-level
         validation — an unknown coalition, say) is compensated: the
         journaled entry and the epoch bump are rolled back before the
         error propagates, so replay never re-raises it.  Replicas are
         deterministic state machines over the same prefix, so a write
-        the first accepts cannot fail on a sibling.
+        the first accepts should not fail on a sibling — but if one
+        does (a durable-journal IO error, say), the sibling's entry is
+        rolled back and the sibling is taken out of rotation so
+        anti-entropy repairs it at recovery, instead of leaving a
+        journaled-but-unapplied write behind.
         """
         with self._lock:
+            if not self.live_runtimes():
+                raise CommFailure(
+                    f"all replicas of the co-database of "
+                    f"{self.owner_name!r} are down; maintenance write "
+                    f"{operation!r} refused")
             self.epoch += 1
             entry = JournalEntry(epoch=self.epoch, operation=operation,
                                  arguments=encode_operation(operation, args))
-            appended: list[ReplicaRuntime] = []
             applied = False
-            try:
-                for runtime in self.runtimes:
-                    if not runtime.alive:
-                        continue  # a dead server misses the write (by design)
+            for runtime in self.runtimes:
+                if not runtime.alive:
+                    continue  # a dead server misses the write (by design)
+                try:
                     runtime.journal.append(entry)
-                    appended.append(runtime)
                     getattr(runtime.codatabase, operation)(*args)
-                    applied = True
-                    if self.snapshot_every \
-                            and len(runtime.journal) >= self.snapshot_every:
-                        runtime.journal.install_snapshot(
-                            export_codatabase(runtime.codatabase))
-            except Exception:
-                if not applied:
-                    for runtime in appended:
-                        runtime.journal.discard(entry.epoch)
-                    self.epoch -= 1
-                raise
+                except Exception:
+                    runtime.journal.discard(entry.epoch)
+                    if not applied:
+                        self.epoch -= 1
+                        raise
+                    runtime.alive = False
+                    continue
+                applied = True
+                if self.snapshot_every \
+                        and len(runtime.journal) >= self.snapshot_every:
+                    runtime.journal.install_snapshot(
+                        export_codatabase(runtime.codatabase))
 
     # The full mutator surface of CoDatabase, journaled and fanned out.
 
@@ -226,6 +261,18 @@ class ReplicatedCoDatabase:
 
     # ---------------------------------------------------- crash & recovery --
 
+    def _rebuild(self, journal: ReplicaJournal) -> CoDatabase:
+        """Rebuild one replica's co-database from its journal: latest
+        snapshot (or empty) plus the journal tail."""
+        if journal.snapshot is not None:
+            codatabase = import_codatabase(journal.snapshot,
+                                           ontology=self.ontology)
+        else:
+            codatabase = CoDatabase(self.owner_name, ontology=self.ontology,
+                                    product=self._product)
+        replay_entries(codatabase, journal.entries_after(codatabase.epoch))
+        return codatabase
+
     def mark_dead(self, index: int) -> ReplicaRuntime:
         """Freeze replica *index* at its current epoch (server killed):
         its journal stops receiving writes until recovery."""
@@ -248,13 +295,7 @@ class ReplicatedCoDatabase:
                     f"replica r{index} of {self.owner_name!r} is alive; "
                     f"kill it before recovering")
             journal = runtime.journal
-            if journal.snapshot is not None:
-                codatabase = import_codatabase(journal.snapshot,
-                                               ontology=self.ontology)
-            else:
-                codatabase = CoDatabase(self.owner_name,
-                                        ontology=self.ontology)
-            replay_entries(codatabase, journal.entries_after(codatabase.epoch))
+            codatabase = self._rebuild(journal)
             if codatabase.epoch < self.epoch:
                 # The set advanced while this replica was down and its
                 # own journal cannot know the missed writes: catch up
@@ -417,6 +458,12 @@ class FailoverCoDatabaseClient(CoDatabaseClient):
             self.calls += 1
             return self._routed_call(operation, *args)
         epoch = self._current_epoch()
+        if epoch is None:
+            # The epoch probe failed transiently: bypass the cache
+            # entirely — an UNVERSIONED entry would match any epoch on
+            # lookup and so survive the failover invalidation.
+            self.calls += 1
+            return self._routed_call(operation, *args)
         hit, value = self._cache.lookup(self.name, operation, args,
                                         epoch=epoch)
         if hit:
@@ -425,6 +472,9 @@ class FailoverCoDatabaseClient(CoDatabaseClient):
         self.cache_misses += 1
         self.calls += 1
         value = self._routed_call(operation, *args)
-        self._cache.store(self.name, operation, args, value,
-                          epoch=self._serving_epoch)
+        if self._serving_epoch is not None:
+            # The routed call may have failed over and the epoch of the
+            # new serving replica may be unknown; same rule as above.
+            self._cache.store(self.name, operation, args, value,
+                              epoch=self._serving_epoch)
         return value

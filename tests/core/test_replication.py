@@ -150,6 +150,90 @@ class TestCrashRecovery:
         assert len(reloaded) == 6
         assert reloaded.last_epoch == 6
 
+    def test_durable_journal_is_replayed_on_construction(self, tmp_path):
+        """A facade over a reused durable dir must restore the previous
+        run's state and resume its epochs — not start fresh at 0 and
+        append duplicate epochs onto the old log."""
+        def factory(owner, index):
+            return ReplicaJournal(
+                str(tmp_path / owner / f"r{index}" / "journal.jsonl"))
+
+        populated(replicas=1, journal_factory=factory)
+        reborn = ReplicatedCoDatabase("Alpha", replicas=1,
+                                      journal_factory=factory)
+        assert reborn.epoch == 6
+        assert reborn.memberships == ["Cardio"]
+        reborn.attach_document("Alpha", "text", "second run")
+        journal = reborn.runtimes[0].journal
+        assert [e.epoch for e in journal.entries()] == [1, 2, 3, 4, 5, 6, 7]
+        reborn.mark_dead(0)
+        reborn.recover(0)  # replay over both runs' entries stays clean
+        codb = reborn.runtimes[0].codatabase
+        assert codb.epoch == 7
+        assert [d["content"] for d in codb.documents_of("Alpha")] \
+            == ["about alpha", "second run"]
+
+    def test_durable_restore_from_snapshot_plus_tail(self, tmp_path):
+        def factory(owner, index):
+            return ReplicaJournal(
+                str(tmp_path / owner / f"r{index}" / "journal.jsonl"))
+
+        first = populated(replicas=1, journal_factory=factory,
+                          snapshot_every=3)
+        reborn = ReplicatedCoDatabase("Alpha", replicas=1,
+                                      journal_factory=factory)
+        assert equivalent_state(reborn.runtimes[0].codatabase) \
+            == equivalent_state(first.runtimes[0].codatabase)
+
+    def test_restore_catches_up_fresh_replicas_by_anti_entropy(self,
+                                                               tmp_path):
+        """Raising the replication factor across runs: the new replica
+        has an empty journal and must be seeded from the restored one."""
+        def factory(owner, index):
+            return ReplicaJournal(
+                str(tmp_path / owner / f"r{index}" / "journal.jsonl"))
+
+        populated(replicas=1, journal_factory=factory)
+        reborn = ReplicatedCoDatabase("Alpha", replicas=2,
+                                      journal_factory=factory)
+        assert [r.epoch for r in reborn.runtimes] == [6, 6]
+        assert equivalent_state(reborn.runtimes[1].codatabase) \
+            == equivalent_state(reborn.runtimes[0].codatabase)
+
+    def test_write_with_no_live_replica_is_refused(self):
+        """No live replica means nobody can journal the write: it must
+        be refused, not silently dropped with an epoch bump."""
+        facade = populated(replicas=2)
+        facade.mark_dead(0)
+        facade.mark_dead(1)
+        with pytest.raises(CommFailure):
+            facade.attach_document("Alpha", "text", "lost forever")
+        assert facade.epoch == 6  # no epoch consumed by the refusal
+        facade.recover(0)
+        assert facade.runtimes[0].epoch == facade.epoch == 6
+
+    def test_diverging_sibling_is_quarantined_not_corrupted(self):
+        """If a sibling fails after the write committed on the first
+        replica, its journal entry is rolled back and the sibling goes
+        out of rotation for anti-entropy repair — no journaled-but-
+        unapplied entry may survive."""
+        facade = populated(replicas=2)
+        sibling = facade.runtimes[1]
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("simulated journal-apply fault")
+
+        sibling.codatabase.attach_document = boom
+        facade.attach_document("Alpha", "text", "late write")
+        assert facade.epoch == 7
+        assert facade.runtimes[0].epoch == 7
+        assert not sibling.alive
+        assert sibling.journal.entries_after(6) == []  # rolled back
+        del sibling.codatabase.attach_document
+        facade.recover(1)
+        assert equivalent_state(sibling.codatabase) \
+            == equivalent_state(facade.runtimes[0].codatabase)
+
 
 WRITES = [
     ("advertise", lambda i: (description(),)),
@@ -257,12 +341,16 @@ class _Endpoint:
         self.epoch = epoch
         self.invocations = []
         self.generation = 1
+        #: Fail only the "epoch" probe (transient fault scripting).
+        self.fail_epoch_probe = False
 
     def invoke(self, operation, *args):
         self.invocations.append(operation)
         if not self.alive:
             raise CommFailure(f"{self.name} is down")
         if operation == "epoch":
+            if self.fail_epoch_probe:
+                raise CommFailure(f"{self.name} dropped the epoch probe")
             return self.epoch
         if operation == "memberships":
             return ["Cardio"]
@@ -376,6 +464,26 @@ class TestFailoverCacheCoherence:
         client.memberships()
         client.memberships()
         assert r1.invocations.count("memberships") == 1
+
+    def test_failed_epoch_probe_bypasses_the_cache(self):
+        """When the epoch probe fails transiently, the read must not be
+        stored unversioned — such an entry would match any epoch and
+        survive the failover invalidation."""
+        r0 = _Endpoint("r0", epoch=5)
+        r0.fail_epoch_probe = True
+        cache = MetadataCache()
+        client = FailoverCoDatabaseClient(
+            "Alpha", [r0.target(index=0)], health=HealthBoard(),
+            cache=cache)
+        assert client.memberships() == ["Cardio"]
+        assert len(cache) == 0  # bypassed, not stored unversioned
+        # Probe heals: reads are cached again, epoch-tagged.
+        r0.fail_epoch_probe = False
+        client.memberships()
+        client.memberships()
+        assert client.cache_hits == 1
+        assert all(epoch is not None
+                   for __, __, epoch in cache._entries.values())
 
     def test_replica_set_status_reports_lag_and_breakers(self):
         facade = populated(replicas=2)
