@@ -1,0 +1,177 @@
+"""S9 — GIOP pipelining and striping against a hot co-database.
+
+The scenario the ROADMAP's transport item names: many concurrent
+clients converge on *one* popular co-database over real TCP with a
+modelled WAN latency.  The pooled-serial baseline needs one
+connection per in-flight caller, so a client storm slams the server's
+accept queue all at once — connection setup, accept-loop
+serialisation, and (past the listen backlog) kernel SYN retransmits
+dominate wall-clock.  The pipelined transport multiplexes the same
+burst onto ``stripes`` warm connections, matching replies by
+``request_id``, so the storm costs four TCP handshakes total.
+
+Each client runs one depth-0 discovery (three sequential metadata
+calls against the hot co-database) the moment the barrier drops.
+Completeness is checked per client: a run only counts if every
+client's discovery resolved with the expected coalition lead.
+
+Expected shape: at small client counts the baseline's
+connection-per-caller model keeps up (each connection is its own
+server thread, and pipelining pays an extra reader/worker handoff per
+request); as the burst grows past the accept backlog the baseline
+falls off a cliff while pipelining stays flat.  The acceptance gate is
+the hot-endpoint point: >= 1.5x lower wall-clock with
+pipelining+striping, completeness 1.00.
+
+Results persist to ``BENCH_pipelining.json``.
+"""
+
+import json
+import threading
+import time
+from pathlib import Path
+
+from repro.bench import print_table
+from repro.core.discovery import CoDatabaseClient, DiscoveryEngine
+from repro.core.codatabase import CODATABASE_INTERFACE, CoDatabaseServant
+from repro.core.model import SourceDescription
+from repro.core.registry import Registry
+from repro.orb import ORBIX, TcpTransport, create_orb
+
+TOPIC = "astronomy catalogues"
+HOT_DB = "sky_survey_main"
+LATENCY = 0.005          # modelled one-way WAN delay, seconds
+CLIENT_COUNTS = (32, 96, 160)
+HOT_CLIENTS = 96         # the acceptance-gate point (past the backlog)
+STRIPES = 4
+PIPELINE_DEPTH = 32
+MIN_SPEEDUP = 1.5
+
+
+def _registry():
+    registry = Registry()
+    registry.create_coalition("Sky Survey", TOPIC)
+    registry.add_source(SourceDescription(name=HOT_DB,
+                                          information_type=TOPIC))
+    registry.join(HOT_DB, "Sky Survey")
+    return registry
+
+
+def _run_config(transport, clients):
+    """All *clients* fire one discovery at the hot co-database at
+    once; returns (wall_clock_s, completeness, metrics_snapshot)."""
+    registry = _registry()
+    orb = create_orb(ORBIX, transport, host="127.0.0.1", port=0)
+    try:
+        ior = orb.activate(CoDatabaseServant(registry.codatabase(HOT_DB)),
+                           CODATABASE_INTERFACE, object_name="codb-hot")
+
+        def resolver(name):
+            return CoDatabaseClient.for_proxy(
+                orb.proxy(ior, CODATABASE_INTERFACE), name)
+
+        barrier = threading.Barrier(clients)
+        complete = []
+        failures = []
+
+        def client(index):
+            engine = DiscoveryEngine(resolver)
+            barrier.wait()
+            try:
+                result = engine.discover(TOPIC, HOT_DB)
+                complete.append(
+                    result.resolved
+                    and any(lead.name == "Sky Survey"
+                            for lead in result.leads))
+            except Exception as exc:  # noqa: BLE001 - counted below
+                failures.append(exc)
+
+        threads = [threading.Thread(target=client, args=(index,))
+                   for index in range(clients)]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - started
+        completeness = (sum(complete) / clients) if not failures else 0.0
+        metrics = transport.metrics
+        return elapsed, completeness, {
+            "connections_opened": metrics.connections_opened,
+            "requests_pipelined": metrics.requests_pipelined,
+            "max_in_flight": metrics.max_in_flight,
+            "pipeline_stalls": metrics.pipeline_stalls,
+            "pipeline_overflows": metrics.pipeline_overflows,
+        }
+    finally:
+        transport.close()
+
+
+def _point(clients):
+    baseline_s, base_complete, base_metrics = _run_config(
+        TcpTransport(pooled=True, latency=LATENCY), clients)
+    piped_s, piped_complete, piped_metrics = _run_config(
+        TcpTransport(pipelined=True, stripes=STRIPES,
+                     pipeline_depth=PIPELINE_DEPTH, latency=LATENCY),
+        clients)
+    return {
+        "clients": clients,
+        "calls": clients * 3,
+        "baseline_ms": round(baseline_s * 1e3, 1),
+        "pipelined_ms": round(piped_s * 1e3, 1),
+        "speedup": round(baseline_s / piped_s, 2),
+        "baseline_completeness": round(base_complete, 2),
+        "pipelined_completeness": round(piped_complete, 2),
+        "baseline_connections": base_metrics["connections_opened"],
+        "pipelined_connections": piped_metrics["connections_opened"],
+        "pipelined_metrics": piped_metrics,
+    }
+
+
+def test_s9_hot_endpoint_pipelining(benchmark):
+    points = [_point(clients) for clients in CLIENT_COUNTS]
+
+    rows = [[p["clients"], p["calls"],
+             f"{p['baseline_ms']:.0f}", p["baseline_connections"],
+             f"{p['pipelined_ms']:.0f}", p["pipelined_connections"],
+             f"{p['speedup']:.2f}x",
+             f"{p['pipelined_completeness']:.2f}"]
+            for p in points]
+    print_table(
+        f"S9: hot co-database storm, pooled-serial vs pipelined "
+        f"(stripes={STRIPES}, latency={LATENCY * 1e3:.0f}ms one-way)",
+        ["clients", "calls", "serial ms", "conns",
+         "pipelined ms", "conns", "speedup", "completeness"], rows)
+
+    # Completeness 1.00 everywhere: nobody lost or cross-wired a reply.
+    for p in points:
+        assert p["baseline_completeness"] == 1.0
+        assert p["pipelined_completeness"] == 1.0
+        assert p["pipelined_metrics"]["pipeline_stalls"] == 0
+        # The whole point: the storm rides a handful of connections.
+        assert p["pipelined_connections"] <= STRIPES + \
+            p["pipelined_metrics"]["pipeline_overflows"]
+
+    # Acceptance gate: at the hot-endpoint point the pipelined
+    # transport is >= 1.5x faster than the pooled-serial baseline.
+    hot = next(p for p in points if p["clients"] == HOT_CLIENTS)
+    assert hot["speedup"] >= MIN_SPEEDUP, \
+        f"hot-endpoint speedup {hot['speedup']}x < {MIN_SPEEDUP}x"
+
+    out = {
+        "benchmark": "S9 pipelining: hot co-database client storm",
+        "scenario": {
+            "topic": TOPIC,
+            "latency_ms_one_way": LATENCY * 1e3,
+            "stripes": STRIPES,
+            "pipeline_depth": PIPELINE_DEPTH,
+            "hot_clients": HOT_CLIENTS,
+            "min_speedup": MIN_SPEEDUP,
+        },
+        "points": points,
+        "hot_endpoint_speedup": hot["speedup"],
+    }
+    path = Path(__file__).resolve().parents[1] / "BENCH_pipelining.json"
+    path.write_text(json.dumps(out, indent=2) + "\n")
+
+    benchmark(lambda: hot["speedup"])

@@ -206,6 +206,14 @@ def main(argv: Optional[list[str]] = None,
                         help="participating database the session belongs to")
     parser.add_argument("--tcp", action="store_true",
                         help="run the federation over real TCP sockets")
+    parser.add_argument("--stripes", type=int, default=None,
+                        help="with --tcp: enable GIOP request pipelining "
+                             "with this many striped connections per "
+                             "endpoint (see docs/pipelining.md)")
+    parser.add_argument("--pipeline-depth", type=int, default=32,
+                        help="with --tcp --stripes: max requests in "
+                             "flight per pipelined connection "
+                             "(default 32)")
     parser.add_argument("--deadline", type=float, default=None,
                         help="total time budget (seconds) for each "
                              "discovery; partial coverage is reported")
@@ -223,7 +231,12 @@ def main(argv: Optional[list[str]] = None,
     transport = None
     if options.tcp:
         from repro.orb.transport import TcpTransport
-        transport = TcpTransport()
+        if options.stripes is not None:
+            transport = TcpTransport(pipelined=True,
+                                     stripes=options.stripes,
+                                     pipeline_depth=options.pipeline_depth)
+        else:
+            transport = TcpTransport()
     resilience = None
     if options.deadline is not None:
         from repro.core.resilience import ResiliencePolicy

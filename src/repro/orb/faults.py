@@ -26,6 +26,13 @@ from the transport's seeded RNG: deterministic for a sequential
 workload, statistically stable (same marginal rates) for a parallel
 one.
 
+Because the wrapper sits *above* the transport, each injected fault
+acts on exactly one logical request/reply exchange — on a pipelined
+:class:`~repro.orb.transport.TcpTransport` a dropped or truncated
+reply is attributed to the one ``request_id`` whose (already-matched)
+reply it was, and only that caller fails; sibling requests in flight
+on the same connection are untouched.
+
 Injected latency is **deadline-aware**: when the calling thread carries
 a :class:`~repro.deadline.Deadline` (see :mod:`repro.deadline`), a
 sleep that would overrun the remaining budget is cut short and surfaces
@@ -117,11 +124,12 @@ class FaultyTransport(Transport):
                                              after=after))
 
     def drop_replies(self, endpoint: Endpoint = ANY, rate: float = 1.0,
-                     after: int = 0) -> "FaultyTransport":
+                     after: int = 0, until: Optional[int] = None
+                     ) -> "FaultyTransport":
         """The server processes the request but the reply is lost —
         the ambiguous failure that makes blind resends dangerous."""
         return self.rule(endpoint, FaultRule("drop_reply", rate=rate,
-                                             after=after))
+                                             after=after, until=until))
 
     def delay(self, endpoint: Endpoint = ANY, latency: float = 0.0,
               jitter: float = 0.0, rate: float = 1.0,
@@ -133,16 +141,20 @@ class FaultyTransport(Transport):
                                              latency=latency, jitter=jitter))
 
     def truncate_replies(self, endpoint: Endpoint = ANY,
-                         keep_bytes: int = 8,
-                         rate: float = 1.0) -> "FaultyTransport":
+                         keep_bytes: int = 8, rate: float = 1.0,
+                         after: int = 0, until: Optional[int] = None
+                         ) -> "FaultyTransport":
         """Cut replies to *keep_bytes* (a mid-frame connection loss)."""
         return self.rule(endpoint, FaultRule("truncate_reply", rate=rate,
+                                             after=after, until=until,
                                              keep_bytes=keep_bytes))
 
-    def corrupt_replies(self, endpoint: Endpoint = ANY,
-                        rate: float = 1.0) -> "FaultyTransport":
+    def corrupt_replies(self, endpoint: Endpoint = ANY, rate: float = 1.0,
+                        after: int = 0, until: Optional[int] = None
+                        ) -> "FaultyTransport":
         """Flip bytes in the reply body (a damaged GIOP frame)."""
-        return self.rule(endpoint, FaultRule("corrupt_reply", rate=rate))
+        return self.rule(endpoint, FaultRule("corrupt_reply", rate=rate,
+                                             after=after, until=until))
 
     def slow_then_die(self, endpoint: Endpoint, calls: int,
                       latency: float = 0.05) -> "FaultyTransport":

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Optional
 
 from repro.errors import MarshalError
 from repro.orb.cdr import CdrDecoder, CdrEncoder
@@ -221,6 +221,72 @@ def decode_message(data: bytes) -> Message:
                 f"unknown locate status {status_code}") from exc
         return LocateReplyMessage(request_id=request_id, status=locate_status)
     raise MarshalError(f"unhandled GIOP message type {message_type!r}")
+
+
+def _peek_decoder(data: bytes) -> tuple[Optional[MessageType], Optional[CdrDecoder]]:
+    """Message type and a body decoder, without decoding the body.
+
+    Returns ``(None, None)`` for frames that are not GIOP 1.0 (the
+    pipelined transport falls back to serial round-trips for those).
+    """
+    if len(data) < HEADER_SIZE or data[:4] != MAGIC \
+            or (data[4], data[5]) != VERSION:
+        return None, None
+    try:
+        message_type = MessageType(data[7])
+    except ValueError:
+        return None, None
+    little_endian = bool(data[6] & 1)
+    size = int.from_bytes(data[8:12], "little" if little_endian else "big")
+    if len(data) - HEADER_SIZE < size:
+        return None, None
+    return message_type, CdrDecoder(data[HEADER_SIZE:HEADER_SIZE + size],
+                                    little_endian)
+
+
+def peek_request(data: bytes) -> tuple[Optional[int], bool]:
+    """``(request_id, response_expected)`` of an outgoing frame.
+
+    Reads just far enough into the CDR body to find the request id —
+    the client-side pipeline needs the id to match the eventual reply,
+    and the response flag to know whether a reply will come at all.
+    ``(None, True)`` means the frame carries no request id (it cannot
+    be pipelined and must use a dedicated serial round-trip).
+    """
+    message_type, decoder = _peek_decoder(data)
+    if decoder is None:
+        return None, True
+    try:
+        if message_type is MessageType.REQUEST:
+            _decode_service_context(decoder)
+            request_id = decoder.read_ulong()
+            return request_id, decoder.read_boolean()
+        if message_type is MessageType.LOCATE_REQUEST:
+            return decoder.read_ulong(), True
+    except MarshalError:
+        return None, True
+    return None, True
+
+
+def peek_reply_id(data: bytes) -> Optional[int]:
+    """The request id an incoming Reply/LocateReply frame answers.
+
+    ``None`` means the frame is not a reply (or is damaged beyond
+    attribution): a pipelined connection cannot deliver it to any
+    waiter and must treat the stream as broken.
+    """
+    message_type, decoder = _peek_decoder(data)
+    if decoder is None:
+        return None
+    try:
+        if message_type is MessageType.REPLY:
+            _decode_service_context(decoder)
+            return decoder.read_ulong()
+        if message_type is MessageType.LOCATE_REPLY:
+            return decoder.read_ulong()
+    except MarshalError:
+        return None
+    return None
 
 
 #: Service-context id we use to carry the calling ORB product (mirrors

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import itertools
 import threading
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Optional
 
 from repro import errors
@@ -45,18 +45,45 @@ class RemoteSystemError(OrbError):
         self.remote_message = message
 
 
+#: GIOP request ids need only be unique per connection, but pipelined
+#: connections are shared by every client ORB on one transport — so
+#: ids are drawn from a single process-wide counter, which makes them
+#: unique everywhere and lets the transport match replies to callers
+#: without rewriting frames.
+_request_ids = itertools.count(1)
+
+
 @dataclass
 class OrbStats:
-    """Per-ORB request counters."""
+    """Per-ORB request counters.
+
+    Requests on one keep-alive socket are dispatched concurrently when
+    the transport pipelines (on top of the thread-per-connection server
+    concurrency that always existed), so increments go through a lock —
+    unlocked ``+=`` loses counts under contention.
+    """
 
     requests_sent: int = 0
     requests_handled: int = 0
     cross_product_requests: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False, compare=False)
+
+    def note_sent(self) -> None:
+        with self._lock:
+            self.requests_sent += 1
+
+    def note_handled(self, cross_product: bool = False) -> None:
+        with self._lock:
+            self.requests_handled += 1
+            if cross_product:
+                self.cross_product_requests += 1
 
     def reset(self) -> None:
-        self.requests_sent = 0
-        self.requests_handled = 0
-        self.cross_product_requests = 0
+        with self._lock:
+            self.requests_sent = 0
+            self.requests_handled = 0
+            self.cross_product_requests = 0
 
 
 class Proxy:
@@ -120,7 +147,7 @@ class Orb:
         self.interfaces = InterfaceRepository()
         self.stats = OrbStats()
         self._servants: dict[bytes, tuple[object, InterfaceDef]] = {}
-        self._request_ids = itertools.count(1)
+        self._request_ids = _request_ids
         self._key_counter = itertools.count(1)
         self._lock = threading.RLock()
         #: Portable-interceptor analogues: callables invoked around the
@@ -168,10 +195,9 @@ class Orb:
         if not isinstance(message, RequestMessage):
             raise MarshalError(
                 f"server cannot handle {type(message).__name__}")
-        self.stats.requests_handled += 1
-        for context_id, value in message.service_context:
-            if context_id == ORB_PRODUCT_CONTEXT and value != self.product:
-                self.stats.cross_product_requests += 1
+        self.stats.note_handled(cross_product=any(
+            context_id == ORB_PRODUCT_CONTEXT and value != self.product
+            for context_id, value in message.service_context))
         reply = self._dispatch(message)
         for interceptor in self._server_interceptors:
             interceptor(message, reply)
@@ -236,7 +262,7 @@ class Orb:
             service_context=[(ORB_PRODUCT_CONTEXT, self.product)])
         for interceptor in self._client_interceptors:
             interceptor(request)
-        self.stats.requests_sent += 1
+        self.stats.note_sent()
         raw_reply = self.transport.send(ior.primary.endpoint,
                                         encode_message(request))
         if oneway:

@@ -25,12 +25,13 @@ import socketserver
 import threading
 import time
 from collections import deque
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.deadline import Deadline, current_policy
 from repro.errors import CommFailure, DeadlineExceeded
-from repro.orb.giop import HEADER_SIZE
+from repro.orb.giop import HEADER_SIZE, peek_reply_id, peek_request
 
 #: A server-side message handler: request bytes in, reply bytes out
 #: (None for oneway messages).
@@ -56,6 +57,16 @@ class TransportMetrics:
     #: TCP connection accounting (always zero on the in-memory fabric).
     connections_opened: int = 0
     connections_reused: int = 0
+    #: Pipelining accounting: requests submitted while at least one
+    #: other request was already in flight on the same connection, the
+    #: deepest in-flight depth any connection reached, callers that
+    #: gave up waiting for a matched reply (stalls), and requests that
+    #: found every stripe at its depth cap (overflows, served on a
+    #: dedicated serial round-trip instead).
+    requests_pipelined: int = 0
+    max_in_flight: int = 0
+    pipeline_stalls: int = 0
+    pipeline_overflows: int = 0
     _lock: threading.Lock = field(default_factory=threading.Lock,
                                   repr=False, compare=False)
 
@@ -75,6 +86,21 @@ class TransportMetrics:
             else:
                 self.connections_opened += 1
 
+    def record_pipeline(self, depth: int) -> None:
+        with self._lock:
+            if depth > 1:
+                self.requests_pipelined += 1
+            if depth > self.max_in_flight:
+                self.max_in_flight = depth
+
+    def record_stall(self) -> None:
+        with self._lock:
+            self.pipeline_stalls += 1
+
+    def record_overflow(self) -> None:
+        with self._lock:
+            self.pipeline_overflows += 1
+
     def reset(self) -> None:
         with self._lock:
             self.messages_sent = 0
@@ -83,6 +109,10 @@ class TransportMetrics:
             self.per_endpoint.clear()
             self.connections_opened = 0
             self.connections_reused = 0
+            self.requests_pipelined = 0
+            self.max_in_flight = 0
+            self.pipeline_stalls = 0
+            self.pipeline_overflows = 0
 
 
 class Transport:
@@ -179,27 +209,60 @@ class _GiopRequestHandler(socketserver.BaseRequestHandler):
     Frames keep arriving on the same socket until the peer closes it
     (keep-alive IIOP) — pooled clients amortise the TCP handshake over
     many requests, per-call clients simply close after one frame.
+
+    On a **pipelined** transport the client may have many requests in
+    flight on this one socket, so frames are dispatched to a
+    per-connection worker pool: request processing (and the modelled
+    ``latency`` sleeps) overlaps, and replies go back as they finish —
+    possibly out of request order, which GIOP permits because clients
+    match replies by ``request_id``.  The pool's threads persist for
+    the connection's life (spawning a thread per frame costs more than
+    a small request round-trip).  A per-connection write lock keeps
+    concurrently-finished reply frames from interleaving on the wire.
     """
 
     def handle(self) -> None:
         transport: TcpTransport = self.server.transport  # type: ignore[attr-defined]
         endpoint = self.server.server_address  # type: ignore[attr-defined]
-        while True:
-            try:
-                data = read_giop_frame(self.request)
-            except CommFailure:
-                return  # peer closed (or died) between frames
-            handler = transport.handler_for((endpoint[0], endpoint[1]))
-            if handler is None:
-                return
-            if transport.latency > 0:
-                time.sleep(transport.latency)
-            reply = handler(data)
-            if reply:
+        write_lock = threading.Lock()
+        workers: Optional[ThreadPoolExecutor] = None
+        if transport.pipelined:
+            workers = ThreadPoolExecutor(
+                max_workers=transport.pipeline_depth,
+                thread_name_prefix=f"giop-worker-{endpoint[1]}")
+        try:
+            while True:
                 try:
-                    self.request.sendall(reply)
-                except OSError:
+                    data = read_giop_frame(self.request)
+                except CommFailure:
+                    return  # peer closed (or died) between frames
+                handler = transport.handler_for((endpoint[0], endpoint[1]))
+                if handler is None:
                     return
+                if workers is not None:
+                    workers.submit(self._serve_one, transport, handler,
+                                   data, write_lock)
+                else:
+                    self._serve_one(transport, handler, data, write_lock)
+        finally:
+            if workers is not None:
+                workers.shutdown(wait=False)
+
+    def _serve_one(self, transport: "TcpTransport", handler: Handler,
+                   data: bytes, write_lock: threading.Lock) -> None:
+        if transport.latency > 0:
+            time.sleep(transport.latency)
+        try:
+            reply = handler(data)
+        except Exception:  # noqa: BLE001 - undecodable frame: the
+            _close_quietly(self.request)  # stream is poisoned, drop it
+            return
+        if reply:
+            try:
+                with write_lock:
+                    self.request.sendall(reply)
+            except OSError:
+                _close_quietly(self.request)
 
 
 class _GiopServer(socketserver.ThreadingTCPServer):
@@ -265,6 +328,179 @@ class _ConnectionPool:
             _close_quietly(connection)
 
 
+#: Floor for the socket timeout on pipelined connections: reads happen
+#: in slices of at least this much, so a caller with a nearly-spent
+#: deadline cannot force a mid-frame timeout that would desync framing
+#: for every other request on the connection.
+_MIN_READ_SLICE = 0.1
+
+
+class _ChannelDead(Exception):
+    """The pipelined connection died before this request was sent."""
+
+    def __init__(self, cause: Exception):
+        super().__init__(str(cause))
+        self.cause = cause
+
+
+class _RequestIdBusy(Exception):
+    """This request id is already in flight on the chosen connection."""
+
+
+class _PendingReply:
+    """One caller's wait slot: filled by the reader, or failed."""
+
+    __slots__ = ("event", "frame", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.frame: Optional[bytes] = None
+        self.error: Optional[Exception] = None
+
+
+class _PipelinedChannel:
+    """One GIOP connection carrying multiple in-flight requests.
+
+    Callers ``submit`` a frame (serialized by a send lock) and receive
+    a wait slot; a dedicated reader thread reads reply frames as they
+    arrive — in whatever order the server finished them — and delivers
+    each to the slot whose ``request_id`` it answers.  A read error,
+    peer close, or unattributable frame kills the channel: every
+    pending caller is failed with the same cause (their replies can no
+    longer arrive on this stream), and the owning transport discards
+    only this stripe.
+    """
+
+    def __init__(self, endpoint: Endpoint, connection: socket.socket):
+        self.endpoint = endpoint
+        self._sock = connection
+        self._send_lock = threading.Lock()
+        self._state_lock = threading.Lock()
+        self._pending: dict[int, _PendingReply] = {}
+        self._dead: Optional[Exception] = None
+        self._closed = False
+        self._reader = threading.Thread(
+            target=self._read_loop, daemon=True,
+            name=f"giop-pipe-{endpoint[1]}")
+        self._reader.start()
+
+    @property
+    def dead(self) -> bool:
+        return self._dead is not None
+
+    def in_flight(self) -> int:
+        with self._state_lock:
+            return len(self._pending)
+
+    def submit(self, request_id: int, data: bytes,
+               timeout: float) -> tuple[_PendingReply, int]:
+        """Register *request_id* and send *data*; returns the wait slot
+        and the in-flight depth at submission (for metrics)."""
+        slot = _PendingReply()
+        with self._state_lock:
+            if self._dead is not None:
+                raise _ChannelDead(self._dead)
+            if request_id in self._pending:
+                raise _RequestIdBusy(request_id)
+            self._pending[request_id] = slot
+            depth = len(self._pending)
+        try:
+            with self._send_lock:
+                self._sock.settimeout(max(timeout, _MIN_READ_SLICE))
+                self._sock.sendall(data)
+        except OSError as exc:
+            # A failed (possibly partial) send poisons the framing for
+            # everything behind it: the whole channel is dead, but the
+            # error each pending caller sees names their own request.
+            self._forget(request_id)
+            self._kill(exc)
+            raise
+        return slot, depth
+
+    def cancel(self, request_id: int) -> None:
+        """Stop waiting for *request_id* (stall timeout): a late reply
+        for it will be read and dropped, keeping the stream in sync."""
+        self._forget(request_id)
+
+    def close(self) -> None:
+        self._closed = True
+        _close_quietly(self._sock)  # wakes the reader, which kills us
+
+    # ------------------------------------------------------------- internals --
+
+    def _forget(self, request_id: int) -> None:
+        with self._state_lock:
+            self._pending.pop(request_id, None)
+
+    def _kill(self, cause: Exception) -> None:
+        with self._state_lock:
+            if self._dead is None:
+                self._dead = cause
+            doomed = list(self._pending.values())
+            self._pending.clear()
+        for slot in doomed:
+            slot.error = cause
+            slot.event.set()
+        _close_quietly(self._sock)
+
+    def _read_loop(self) -> None:
+        try:
+            while True:
+                frame = self._read_frame()
+                request_id = peek_reply_id(frame)
+                if request_id is None:
+                    raise CommFailure(
+                        f"unattributable frame on pipelined connection "
+                        f"to {self.endpoint!r}")
+                with self._state_lock:
+                    slot = self._pending.pop(request_id, None)
+                if slot is not None:
+                    slot.frame = frame
+                    slot.event.set()
+                # No slot: the caller cancelled (stall timeout) and the
+                # reply arrived late — drop it, framing stays in sync.
+        except (OSError, CommFailure) as exc:
+            self._kill(CommFailure(f"pipelined connection to "
+                                   f"{self.endpoint!r} broke: {exc}")
+                       if not isinstance(exc, CommFailure) else exc)
+
+    def _read_frame(self) -> bytes:
+        first = self._recv_between_frames()
+        header = first + self._read_exact(HEADER_SIZE - 1)
+        little_endian = bool(header[6] & 1)
+        size = int.from_bytes(header[8:12],
+                              "little" if little_endian else "big")
+        body = self._read_exact(size) if size else b""
+        return header + body
+
+    def _recv_between_frames(self) -> bytes:
+        """First byte of the next frame.  Timeouts *between* frames are
+        benign (an idle keep-alive connection); once a frame has
+        started, :meth:`_read_exact` treats a timeout as fatal because
+        the stream can no longer be resynchronised."""
+        while True:
+            try:
+                chunk = self._sock.recv(1)
+            except TimeoutError:
+                if self._closed:
+                    raise CommFailure("pipelined connection closed")
+                continue
+            if not chunk:
+                raise CommFailure("connection closed by peer")
+            return chunk
+
+    def _read_exact(self, count: int) -> bytes:
+        chunks: list[bytes] = []
+        remaining = count
+        while remaining > 0:
+            chunk = self._sock.recv(remaining)
+            if not chunk:
+                raise CommFailure("connection closed mid-message")
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+
 class TcpTransport(Transport):
     """Real IIOP-over-TCP on localhost.
 
@@ -285,14 +521,37 @@ class TcpTransport(Transport):
     bounds its socket timeout by the remaining budget of the calling
     thread's :class:`~repro.deadline.Deadline`, so a discovery query's
     total budget propagates down to every socket operation.
+
+    With ``pipelined=True`` the client side switches from one
+    round-trip per checked-out connection to **GIOP request
+    pipelining**: concurrent callers share *stripes* connections per
+    endpoint, each carrying up to *pipeline_depth* requests in flight
+    at once, with replies matched back to callers by ``request_id``
+    (out-of-order reply delivery is allowed — the server dispatches
+    concurrently and answers as it finishes).  Requests that find every
+    stripe at its depth cap overflow onto a dedicated serial
+    round-trip rather than queueing.  A connection that dies
+    mid-pipeline fails exactly the requests that were in flight *on
+    it* — each caller gets its own failure, the idempotence gate
+    decides per caller whether a resend is safe, and only the dead
+    stripe is discarded (healthy sibling stripes keep their traffic).
+    See ``docs/pipelining.md``.
     """
 
     def __init__(self, host: str = "127.0.0.1", timeout: float = 5.0,
                  pooled: bool = True, pool_size: int = 8,
-                 latency: float = 0.0):
+                 latency: float = 0.0, pipelined: bool = False,
+                 stripes: int = 1, pipeline_depth: int = 32):
         self.host = host
         self.timeout = timeout
         self.pooled = pooled
+        self.pipelined = pipelined
+        #: Pipelined connections per endpoint; concurrent callers are
+        #: spread across stripes by least-loaded choice, and a new
+        #: stripe is only opened when every existing one is busy.
+        self.stripes = max(1, int(stripes))
+        #: Max requests in flight per pipelined connection.
+        self.pipeline_depth = max(1, int(pipeline_depth))
         #: Simulated one-way WAN delay (seconds) applied server-side to
         #: every request.  The paper's federation spans Internet sites;
         #: loopback is the degenerate zero-latency case, so benches set
@@ -301,6 +560,8 @@ class TcpTransport(Transport):
         #: real network waits would.
         self.latency = latency
         self._pool = _ConnectionPool(max_idle=pool_size) if pooled else None
+        self._channels: dict[Endpoint, list[_PipelinedChannel]] = {}
+        self._channels_lock = threading.Lock()
         self._servers: dict[Endpoint, _GiopServer] = {}
         self._handlers: dict[Endpoint, Handler] = {}
         self._lock = threading.RLock()
@@ -333,6 +594,10 @@ class TcpTransport(Transport):
             self._handlers.pop(endpoint, None)
         if self._pool is not None:
             self._pool.discard(endpoint)
+        with self._channels_lock:
+            channels = self._channels.pop(endpoint, [])
+        for channel in channels:
+            channel.close()
         if server is not None:
             server.shutdown()
             server.server_close()
@@ -351,6 +616,18 @@ class TcpTransport(Transport):
 
     def send(self, endpoint: Endpoint, data: bytes) -> bytes:
         timeout, deadline = self._effective_timeout()
+        if self.pipelined:
+            request_id, response_expected = peek_request(data)
+            if request_id is not None:
+                return self._send_pipelined(endpoint, data, request_id,
+                                            response_expected, timeout,
+                                            deadline)
+            # Frames without a request id cannot be matched to a reply:
+            # give them a dedicated serial round-trip.
+        return self._send_serial(endpoint, data, timeout, deadline)
+
+    def _send_serial(self, endpoint: Endpoint, data: bytes,
+                     timeout: float, deadline: Optional[Deadline]) -> bytes:
         if self._pool is not None:
             pooled = self._pool.checkout(endpoint)
             if pooled is not None:
@@ -407,6 +684,154 @@ class TcpTransport(Transport):
         self.metrics.record(endpoint, len(data), len(reply))
         return reply
 
+    # ------------------------------------------------------- pipelined client --
+
+    def _send_pipelined(self, endpoint: Endpoint, data: bytes,
+                        request_id: int, response_expected: bool,
+                        timeout: float,
+                        deadline: Optional[Deadline]) -> bytes:
+        """One request through a shared pipelined connection.
+
+        Mirrors the serial path's resend contract: a failure *after*
+        the request's bytes may have gone out is only retried (once, on
+        a fresh serial connection) when the caller declared the call
+        idempotent; a failure *before* anything was sent is freely
+        retried on a sibling stripe.
+        """
+        attempts = 0
+        while True:
+            attempts += 1
+            channel, opened = self._checkout_channel(endpoint, timeout,
+                                                     deadline)
+            if channel is None:
+                # Every stripe is at its depth cap: overflow to a
+                # dedicated serial round-trip instead of queueing.
+                self.metrics.record_overflow()
+                return self._send_serial(endpoint, data, timeout, deadline)
+            try:
+                slot, depth = channel.submit(request_id, data, timeout)
+            except _RequestIdBusy:
+                # Another caller already has this id in flight here
+                # (hand-crafted frames can collide); never cross wires.
+                return self._send_serial(endpoint, data, timeout, deadline)
+            except _ChannelDead as exc:
+                # Died before our bytes went out: a sibling (or fresh)
+                # stripe is always safe to try.
+                self._drop_channel(endpoint, channel)
+                if attempts <= self.stripes + 1:
+                    continue
+                raise CommFailure(
+                    f"no live pipelined connection to {endpoint!r}: "
+                    f"{exc.cause}") from exc.cause
+            except OSError as exc:
+                # The send itself failed — bytes may be on the wire.
+                self._drop_channel(endpoint, channel)
+                self._gate_resend(endpoint, exc, deadline)
+                return self._send_serial(endpoint, data, timeout, deadline)
+            break
+        self.metrics.record_connection(reused=not opened)
+        self.metrics.record_pipeline(depth)
+        if not response_expected:
+            self.metrics.record(endpoint, len(data), 0)
+            return b""
+        if not slot.event.wait(timeout):
+            channel.cancel(request_id)
+            if slot.frame is not None:  # delivered in the cancel race
+                self.metrics.record(endpoint, len(data), len(slot.frame))
+                return slot.frame
+            self.metrics.record_stall()
+            if deadline is not None and deadline.expired:
+                raise DeadlineExceeded(
+                    f"pipelined IIOP request {request_id} to {endpoint!r} "
+                    f"overran its deadline (no matching reply within "
+                    f"{timeout:.3f}s)")
+            raise CommFailure(
+                f"pipeline stall: no reply for request {request_id} from "
+                f"{endpoint!r} within {timeout:.3f}s")
+        if slot.error is not None:
+            # The connection died with our request in flight.  Only
+            # this stripe is discarded; whether a resend is safe is the
+            # caller's (idempotence) call, exactly as for a stale
+            # pooled connection.
+            self._drop_channel(endpoint, channel)
+            self._gate_resend(endpoint, slot.error, deadline)
+            return self._send_serial(endpoint, data, timeout, deadline)
+        reply = slot.frame or b""
+        self.metrics.record(endpoint, len(data), len(reply))
+        return reply
+
+    def _checkout_channel(self, endpoint: Endpoint, timeout: float,
+                          deadline: Optional[Deadline]
+                          ) -> tuple[Optional[_PipelinedChannel], bool]:
+        """The least-loaded live stripe for *endpoint* (opening a new
+        one while under the stripe cap and all existing stripes are
+        busy), as ``(channel, opened)``.  ``(None, False)`` means every
+        stripe is at :attr:`pipeline_depth` (overflow)."""
+        with self._channels_lock:
+            channels = [channel
+                        for channel in self._channels.get(endpoint, ())
+                        if not channel.dead]
+            self._channels[endpoint] = channels
+            best = min(channels, key=_PipelinedChannel.in_flight,
+                       default=None)
+            if best is not None:
+                load = best.in_flight()
+                if load == 0 or len(channels) >= self.stripes:
+                    if load >= self.pipeline_depth:
+                        return None, False
+                    return best, False
+            try:
+                connection = socket.create_connection(endpoint,
+                                                      timeout=timeout)
+            except OSError as exc:
+                if deadline is not None and deadline.expired:
+                    raise DeadlineExceeded(
+                        f"IIOP connect to {endpoint!r} overran its "
+                        f"deadline: {exc}") from exc
+                raise CommFailure(
+                    f"IIOP connect to {endpoint!r} failed: {exc}") from exc
+            channel = _PipelinedChannel(endpoint, connection)
+            channels.append(channel)
+            return channel, True
+
+    def _drop_channel(self, endpoint: Endpoint,
+                      channel: _PipelinedChannel) -> None:
+        """Discard one dead stripe.  Healthy sibling stripes — and the
+        requests in flight on them — are untouched."""
+        with self._channels_lock:
+            channels = self._channels.get(endpoint)
+            if channels and channel in channels:
+                channels.remove(channel)
+        channel.close()
+
+    def _gate_resend(self, endpoint: Endpoint, cause: Exception,
+                     deadline: Optional[Deadline]) -> None:
+        """Raise unless the current call may be resent: the request may
+        already have executed server-side, so only an idempotence vouch
+        (see :mod:`repro.deadline`) permits a second copy."""
+        if deadline is not None and deadline.expired:
+            raise DeadlineExceeded(
+                f"IIOP request to {endpoint!r} overran its deadline: "
+                f"{cause}") from cause
+        if not current_policy().idempotent:
+            raise CommFailure(
+                f"IIOP send to {endpoint!r} failed on a pipelined "
+                f"connection; not resending a non-idempotent request "
+                f"({cause})") from cause
+
+    def stripe_count(self, endpoint: Endpoint) -> int:
+        """Live pipelined connections to *endpoint* (tests, tuning)."""
+        with self._channels_lock:
+            return sum(1 for channel in self._channels.get(endpoint, ())
+                       if not channel.dead)
+
+    def pipeline_in_flight(self, endpoint: Endpoint) -> int:
+        """Requests currently in flight across *endpoint*'s stripes."""
+        with self._channels_lock:
+            return sum(channel.in_flight()
+                       for channel in self._channels.get(endpoint, ())
+                       if not channel.dead)
+
     def idle_connections(self, endpoint: Optional[Endpoint] = None) -> int:
         """Spare pooled connections (for tests and pool tuning)."""
         if self._pool is None:
@@ -417,5 +842,11 @@ class TcpTransport(Transport):
         """Shut down every server this transport started."""
         if self._pool is not None:
             self._pool.close()
+        with self._channels_lock:
+            channels = [channel for stripes in self._channels.values()
+                        for channel in stripes]
+            self._channels.clear()
+        for channel in channels:
+            channel.close()
         for endpoint in list(self._servers):
             self.unregister(endpoint)

@@ -1,5 +1,6 @@
 """Property-based tests: discovery invariants over random topologies."""
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -180,6 +181,53 @@ def test_parallel_equals_sequential_with_failures(topology):
         assert set(first.unreachable) <= dead
     finally:
         parallel.close()
+
+
+@pytest.mark.parametrize("stripes", [1, 2, 4],
+                         ids=["stripes1", "stripes2", "stripes4"])
+@given(topologies())
+@settings(max_examples=4, deadline=None)
+def test_parallel_equals_sequential_over_pipelined_tcp(stripes, topology):
+    """The deterministic-merge invariant survives the pipelined TCP
+    transport: with co-databases behind one real IIOP endpoint and the
+    parallel fan-out sharing `stripes` pipelined connections, leads,
+    counts, traces, and unreachable lists still match the sequential
+    engine exactly."""
+    from repro.core.codatabase import CODATABASE_INTERFACE, CoDatabaseServant
+    from repro.orb import ORBIX, TcpTransport, create_orb
+
+    registry, names, databases = build(*topology)
+    transport = TcpTransport(pipelined=True, stripes=stripes)
+    orb = create_orb(ORBIX, transport, host="127.0.0.1", port=0)
+    try:
+        iors = {
+            name: orb.activate(
+                CoDatabaseServant(registry.codatabase(name)),
+                CODATABASE_INTERFACE, object_name=f"codb-{name}")
+            for name in databases
+        }
+
+        def resolver(name):
+            return CoDatabaseClient.for_proxy(
+                orb.proxy(iors[name], CODATABASE_INTERFACE), name)
+
+        sequential = DiscoveryEngine(resolver)
+        parallel = DiscoveryEngine(resolver, parallel=True, max_workers=4)
+        try:
+            topic = registry.coalition(names[-1]).information_type
+            for start in (databases[0], databases[-1]):
+                first = sequential.discover(topic, start, max_hops=10)
+                second = parallel.discover(topic, start, max_hops=10)
+                assert lead_fingerprint(first) == lead_fingerprint(second)
+                assert first.codatabases_contacted == \
+                    second.codatabases_contacted
+                assert first.metadata_calls == second.metadata_calls
+                assert first.trace == second.trace
+                assert first.unreachable == second.unreachable
+        finally:
+            parallel.close()
+    finally:
+        transport.close()
 
 
 @given(topologies())

@@ -1,0 +1,308 @@
+"""Chaos conformance for the GIOP pipeline: faults land on exactly one
+request.
+
+The serial transport's failure unit is the whole connection; a
+pipelined connection multiplexes many callers, so the suite pins down
+the sharper contract ISSUE 5 demands:
+
+* a mid-pipeline ``drop``/``truncate``/``corrupt``/``slow_then_die``
+  fault fails only the request it hit — every sibling in flight on the
+  same connection completes with *its own* reply (no cross-wiring);
+* when the connection itself dies with requests in flight, each caller
+  gets its own failure, and the idempotence gate decides *per caller*
+  whether a resend is safe — a non-idempotent request is never resent;
+* health accounting sees one failure per failed request, not one per
+  dead connection.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.resilience import HealthBoard
+from repro.deadline import call_policy
+from repro.errors import CommFailure, MarshalError
+from repro.orb import (InterfaceBuilder, TcpTransport, create_orb, ORBIX,
+                       VISIBROKER)
+from repro.orb.faults import FaultyTransport
+
+pytestmark = pytest.mark.chaos
+
+ECHO = InterfaceBuilder("Echo").operation("echo", "value").build()
+
+
+class CountingEchoServant:
+    """Echoes after a fixed delay, counting executions per value — the
+    witness that a non-idempotent request was never resent."""
+
+    def __init__(self, delay=0.0):
+        self.delay = delay
+        self.calls = {}
+        self._lock = threading.Lock()
+
+    def echo(self, value):
+        with self._lock:
+            self.calls[value] = self.calls.get(value, 0) + 1
+        if self.delay:
+            time.sleep(self.delay)
+        return value
+
+
+def pipelined_rig(seed, stripes=1, delay=0.01, depth=32):
+    """A faulty pipelined transport serving one echo servant.  Returns
+    ``(faulty, tcp, proxy, endpoint, servant)``."""
+    tcp = TcpTransport(pipelined=True, stripes=stripes,
+                       pipeline_depth=depth)
+    faulty = FaultyTransport(tcp, seed=seed)
+    server = create_orb(ORBIX, faulty, host="127.0.0.1", port=0)
+    client = create_orb(VISIBROKER, faulty, host="127.0.0.1", port=0)
+    servant = CountingEchoServant(delay=delay)
+    ior = server.activate(servant, ECHO, object_name="echo")
+    proxy = client.proxy(ior, ECHO)
+    return faulty, tcp, proxy, ior.primary.endpoint, servant
+
+
+def fire_batch(proxy, count, idempotent=None, barrier_timeout=5.0,
+               payload=None):
+    """``count`` concurrent callers; returns ``(results, errors)`` with
+    errors keyed by caller index.  *payload* maps an index to the echo
+    argument (default: the index itself)."""
+    barrier = threading.Barrier(count)
+    results, errors = {}, {}
+    payload = payload or (lambda index: index)
+
+    def caller(index):
+        barrier.wait(timeout=barrier_timeout)
+        try:
+            if idempotent is None:
+                results[index] = proxy.echo(payload(index))
+            else:
+                with call_policy(idempotent=idempotent):
+                    results[index] = proxy.echo(payload(index))
+        except Exception as exc:  # noqa: BLE001 - the assertion target
+            errors[index] = exc
+
+    threads = [threading.Thread(target=caller, args=(index,))
+               for index in range(count)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return results, errors
+
+
+@pytest.mark.parametrize("stripes", [1, 4],
+                         ids=["stripes1", "stripes4"])
+def test_mid_pipeline_drop_fails_only_one_request(chaos_seed, stripes):
+    """One scripted reply drop in the middle of a concurrent batch:
+    exactly one caller fails, every survivor gets its own value."""
+    faulty, tcp, proxy, endpoint, servant = pipelined_rig(chaos_seed,
+                                                          stripes=stripes)
+    try:
+        faulty.drop_replies(endpoint, after=2, until=3)
+        results, errors = fire_batch(proxy, 8)
+        assert faulty.injected["drop_reply"] == 1
+        assert len(errors) == 1
+        assert all(isinstance(exc, CommFailure)
+                   for exc in errors.values())
+        assert all(results[index] == index for index in results)
+        assert set(results) | set(errors) == set(range(8))
+        # The dropped request executed server-side exactly once: the
+        # non-idempotent default forbids a blind resend.
+        assert all(count == 1 for count in servant.calls.values())
+    finally:
+        tcp.close()
+
+
+@pytest.mark.parametrize("fault", ["truncate", "corrupt"])
+def test_mid_pipeline_damage_fails_only_one_request(chaos_seed, fault):
+    """A truncated or corrupted reply poisons one caller's decode and
+    nobody else's."""
+    faulty, tcp, proxy, endpoint, servant = pipelined_rig(chaos_seed,
+                                                          stripes=2)
+    try:
+        if fault == "truncate":
+            faulty.truncate_replies(endpoint, keep_bytes=8,
+                                    after=3, until=4)
+        else:
+            faulty.corrupt_replies(endpoint, after=3, until=4)
+        # Long string payloads so a byte flip reliably breaks the CDR
+        # string decode (ints can absorb a flip silently).
+        payload = lambda index: f"value-{index}-" + "x" * 24  # noqa: E731
+        results, errors = fire_batch(proxy, 8, payload=payload)
+        assert faulty.injected[f"{fault}_reply"] == 1
+        assert len(errors) == 1
+        assert all(isinstance(exc, (CommFailure, MarshalError))
+                   for exc in errors.values())
+        assert all(results[index] == payload(index) for index in results)
+        assert set(results) | set(errors) == set(range(8))
+    finally:
+        tcp.close()
+
+
+def test_slow_then_die_survivors_complete(chaos_seed):
+    """A brown-out mid-batch: the calls that got through before the
+    death are answered correctly; the rest fail individually."""
+    faulty, tcp, proxy, endpoint, servant = pipelined_rig(chaos_seed,
+                                                          stripes=2)
+    try:
+        faulty.slow_then_die(endpoint, calls=4, latency=0.005)
+        results, errors = fire_batch(proxy, 10)
+        assert len(results) == 4
+        assert len(errors) == 6
+        assert all(results[index] == index for index in results)
+        assert all(isinstance(exc, CommFailure)
+                   for exc in errors.values())
+        assert faulty.injected["refuse"] == 6
+    finally:
+        tcp.close()
+
+
+def test_seeded_fault_rate_attribution(chaos_seed):
+    """Randomised (seeded) reply loss over a concurrent batch: the
+    failure count matches the injection count exactly, and every
+    surviving reply is the caller's own."""
+    faulty, tcp, proxy, endpoint, servant = pipelined_rig(chaos_seed,
+                                                          stripes=4)
+    try:
+        faulty.drop_replies(endpoint, rate=0.3)
+        results, errors = fire_batch(proxy, 16)
+        assert len(errors) == faulty.injected["drop_reply"]
+        assert all(results[index] == index for index in results)
+        assert set(results) | set(errors) == set(range(16))
+        assert all(count == 1 for count in servant.calls.values())
+    finally:
+        tcp.close()
+
+
+def _kill_first_stripe(tcp, endpoint, expected_in_flight, timeout=3.0):
+    """Wait until *expected_in_flight* requests are in flight, then
+    sever the (single) pipelined connection under them."""
+    deadline = time.monotonic() + timeout
+    while tcp.pipeline_in_flight(endpoint) < expected_in_flight:
+        if time.monotonic() > deadline:
+            raise AssertionError(
+                f"never saw {expected_in_flight} requests in flight "
+                f"(got {tcp.pipeline_in_flight(endpoint)})")
+        time.sleep(0.002)
+    with tcp._channels_lock:
+        channel = tcp._channels[endpoint][0]
+    channel.close()
+
+
+def test_channel_death_gates_resend_on_idempotence(chaos_seed):
+    """The connection dies with four requests in flight.  Idempotent
+    callers are replayed on a fresh serial connection and succeed;
+    non-idempotent callers fail — and are *never* resent (the servant
+    saw their request exactly once)."""
+    faulty, tcp, proxy, endpoint, servant = pipelined_rig(
+        chaos_seed, stripes=1, delay=0.3)
+    try:
+        barrier = threading.Barrier(4)
+        results, errors = {}, {}
+
+        def caller(index, idempotent):
+            barrier.wait(timeout=5.0)
+            try:
+                with call_policy(idempotent=idempotent):
+                    results[index] = proxy.echo(index)
+            except Exception as exc:  # noqa: BLE001
+                errors[index] = exc
+
+        threads = [threading.Thread(target=caller,
+                                    args=(index, index < 2))
+                   for index in range(4)]
+        for thread in threads:
+            thread.start()
+        _kill_first_stripe(tcp, endpoint, expected_in_flight=4)
+        for thread in threads:
+            thread.join()
+        # Idempotent callers (0, 1): resent serially, correct replies.
+        # Server-side executions: the replay, plus the original if its
+        # bytes beat the kill to the server — 1 or 2, never more (the
+        # gate allows exactly one replay).
+        assert results == {0: 0, 1: 1}
+        assert 1 <= servant.calls[0] <= 2
+        assert 1 <= servant.calls[1] <= 2
+        # Non-idempotent callers (2, 3): their own CommFailure each,
+        # at most one server-side execution — never resent.
+        assert set(errors) == {2, 3}
+        for exc in errors.values():
+            assert isinstance(exc, CommFailure)
+            assert "not resending" in str(exc)
+        assert servant.calls.get(2, 0) <= 1
+        assert servant.calls.get(3, 0) <= 1
+    finally:
+        tcp.close()
+
+
+def test_health_counts_one_failure_per_request(chaos_seed):
+    """One dead connection with four requests in flight is four failed
+    requests: breaker/health accounting must see four failures on the
+    endpoint's breaker, not one."""
+    faulty, tcp, proxy, endpoint, servant = pipelined_rig(
+        chaos_seed, stripes=1, delay=0.3)
+    board = HealthBoard(failure_threshold=10)
+    try:
+        barrier = threading.Barrier(4)
+
+        def caller(index):
+            barrier.wait(timeout=5.0)
+            try:
+                proxy.echo(index)  # non-idempotent: no resend
+            except CommFailure:
+                board.record("hot-codb", ok=False)
+            else:
+                board.record("hot-codb", ok=True)
+
+        threads = [threading.Thread(target=caller, args=(index,))
+                   for index in range(4)]
+        for thread in threads:
+            thread.start()
+        _kill_first_stripe(tcp, endpoint, expected_in_flight=4)
+        for thread in threads:
+            thread.join()
+        snapshot = board.snapshot()["hot-codb"]
+        assert snapshot["failures"] == 4
+        assert snapshot["successes"] == 0
+    finally:
+        tcp.close()
+
+
+def test_dead_stripe_does_not_take_siblings(chaos_seed):
+    """Killing one stripe of several fails only the requests in flight
+    on it; requests on sibling stripes complete untouched, and the
+    survivors keep serving traffic afterwards."""
+    faulty, tcp, proxy, endpoint, servant = pipelined_rig(
+        chaos_seed, stripes=3, delay=0.4)
+    try:
+        results, errors = {}, {}
+
+        def caller(index):
+            try:
+                results[index] = proxy.echo(index)
+            except Exception as exc:  # noqa: BLE001
+                errors[index] = exc
+
+        # Staggered starts make stripe assignment deterministic:
+        # least-loaded checkout lands callers 0..5 on stripes
+        # A B C A B C, so killing A fails exactly {0, 3}.
+        threads = [threading.Thread(target=caller, args=(index,))
+                   for index in range(6)]
+        for thread in threads:
+            thread.start()
+            time.sleep(0.03)
+        _kill_first_stripe(tcp, endpoint, expected_in_flight=6)
+        for thread in threads:
+            thread.join()
+        # Exactly the requests on the murdered stripe failed; every
+        # sibling-stripe request got its own correct reply.
+        assert set(errors) == {0, 3}
+        assert results == {1: 1, 2: 2, 4: 4, 5: 5}
+        # The dead stripe was evicted; its siblings survived.
+        assert tcp.stripe_count(endpoint) == 2
+        # And the endpoint still works.
+        assert proxy.echo(99) == 99
+    finally:
+        tcp.close()

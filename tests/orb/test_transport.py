@@ -347,3 +347,91 @@ class TestConnectionPool:
             assert transport.metrics.connections_opened <= 1
         finally:
             transport.close()
+
+
+class SlowEchoServant:
+    def __init__(self, delay):
+        self.delay = delay
+
+    def echo(self, value):
+        import time
+        time.sleep(self.delay)
+        return value
+
+
+class TestPipelinedStripes:
+    """Striping semantics that must hold without fault injection (the
+    chaos suite covers fault attribution)."""
+
+    def _slow_echo_pair(self, transport, delay=0.15):
+        server = create_orb(ORBIX, transport, host="127.0.0.1", port=0)
+        client = create_orb(VISIBROKER, transport, host="127.0.0.1", port=0)
+        ior = server.activate(SlowEchoServant(delay), ECHO)
+        return client.proxy(ior, ECHO), ior
+
+    def _build_stripes(self, transport, proxy, endpoint, count):
+        """Staggered concurrent calls open one stripe each."""
+        errors: list[Exception] = []
+
+        def call(index):
+            try:
+                assert proxy.echo(index) == index
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        import time
+        threads = [threading.Thread(target=call, args=(index,))
+                   for index in range(count)]
+        for thread in threads:
+            thread.start()
+            time.sleep(0.03)
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert transport.stripe_count(endpoint) == count
+
+    def test_stale_stripe_does_not_evict_healthy_siblings(self):
+        """Regression (ISSUE 5): discarding a dead stripe must not
+        discard the endpoint's healthy sibling stripes — the serial
+        pool's discard-the-whole-endpoint behaviour would sever
+        every other caller's connection."""
+        transport = TcpTransport(pipelined=True, stripes=3)
+        try:
+            proxy, ior = self._slow_echo_pair(transport)
+            endpoint = ior.primary.endpoint
+            self._build_stripes(transport, proxy, endpoint, 3)
+            with transport._channels_lock:
+                stale, *siblings = transport._channels[endpoint]
+            # The first stripe goes stale (peer dropped it).
+            stale.close()
+            with call_policy(idempotent=True):
+                assert proxy.echo("after") == "after"
+            assert transport.stripe_count(endpoint) == 2
+            with transport._channels_lock:
+                remaining = list(transport._channels[endpoint])
+            assert stale not in remaining
+            for sibling in siblings:
+                assert sibling in remaining
+                assert not sibling.dead
+        finally:
+            transport.close()
+
+    def test_unregister_closes_endpoint_stripes(self):
+        transport = TcpTransport(pipelined=True, stripes=2)
+        try:
+            proxy, ior = self._slow_echo_pair(transport, delay=0.0)
+            endpoint = ior.primary.endpoint
+            assert proxy.echo("warm") == "warm"
+            assert transport.stripe_count(endpoint) == 1
+            transport.unregister(endpoint)
+            assert transport.stripe_count(endpoint) == 0
+        finally:
+            transport.close()
+
+    def test_serial_send_unaffected_by_pipelined_flag_default(self):
+        """pipelined=False keeps the exact pooled-serial behaviour the
+        earlier counters tests pin down."""
+        transport = TcpTransport(pooled=True)
+        assert transport.pipelined is False
+        assert transport.stripe_count(("nowhere", 1)) == 0
+        transport.close()
