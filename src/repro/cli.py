@@ -214,6 +214,14 @@ def main(argv: Optional[list[str]] = None,
                         help="with --tcp --stripes: max requests in "
                              "flight per pipelined connection "
                              "(default 32)")
+    parser.add_argument("--transport-loop", action="store_true",
+                        help="with --tcp: run the transport on the "
+                             "selector event loop instead of threads "
+                             "(see docs/event-loop.md)")
+    parser.add_argument("--batch-flush", type=int, default=64 * 1024,
+                        help="with --tcp --transport-loop: max bytes one "
+                             "flush coalesces into a single send "
+                             "(default 65536)")
     parser.add_argument("--deadline", type=float, default=None,
                         help="total time budget (seconds) for each "
                              "discovery; partial coverage is reported")
@@ -234,9 +242,16 @@ def main(argv: Optional[list[str]] = None,
         if options.stripes is not None:
             transport = TcpTransport(pipelined=True,
                                      stripes=options.stripes,
-                                     pipeline_depth=options.pipeline_depth)
+                                     pipeline_depth=options.pipeline_depth,
+                                     loop=options.transport_loop or None,
+                                     batch_flush=options.batch_flush)
         else:
-            transport = TcpTransport()
+            # No explicit striping: let the transport watch demand and
+            # promote busy endpoints to pipelining on its own.
+            transport = TcpTransport(pipelined="auto",
+                                     pipeline_depth=options.pipeline_depth,
+                                     loop=options.transport_loop or None,
+                                     batch_flush=options.batch_flush)
     resilience = None
     if options.deadline is not None:
         from repro.core.resilience import ResiliencePolicy

@@ -49,6 +49,7 @@ class CdrEncoder:
         self.little_endian = little_endian
         self._chunks: list[bytes] = []
         self._size = 0
+        self._joined: bytes | None = None
         self._fmt = "<" if little_endian else ">"
 
     # -- low level ------------------------------------------------------------
@@ -56,6 +57,7 @@ class CdrEncoder:
     def _append(self, data: bytes) -> None:
         self._chunks.append(data)
         self._size += len(data)
+        self._joined = None
 
     def align(self, boundary: int) -> None:
         """Pad with zero octets to the next *boundary* multiple."""
@@ -159,18 +161,35 @@ class CdrEncoder:
                 f"cannot marshal {type(value).__name__} value {value!r}")
 
     def getvalue(self) -> bytes:
-        return b"".join(self._chunks)
+        # The GIOP framer calls this twice per message (once for the
+        # header's size field, once for the payload), so the join is
+        # cached and the chunk list collapsed to it; any later append
+        # invalidates the cache.
+        if self._joined is None:
+            self._joined = b"".join(self._chunks)
+            self._chunks = [self._joined] if self._joined else []
+        return self._joined
 
     def __len__(self) -> int:
         return self._size
 
 
 class CdrDecoder:
-    """Reads CDR-encoded values from a byte buffer."""
+    """Reads CDR-encoded values from a byte buffer.
 
-    def __init__(self, data: bytes, little_endian: bool = False,
-                 offset: int = 0):
-        self._data = data
+    Accepts ``bytes`` or a ``memoryview`` without copying: the
+    event-loop transport slices request frames straight out of its
+    receive buffer, and every read here works on that view in place
+    (``struct.unpack``/``int.from_bytes`` consume buffers directly).
+    Values that escape the decoder — octet sequences, strings — are
+    materialised at the last moment, so decoding a view allocates only
+    for the values actually produced.
+    """
+
+    def __init__(self, data: bytes | bytearray | memoryview,
+                 little_endian: bool = False, offset: int = 0):
+        self._data = data if isinstance(data, memoryview) \
+            else memoryview(data)
         self._pos = offset
         self.little_endian = little_endian
         self._fmt = "<" if little_endian else ">"
@@ -182,7 +201,7 @@ class CdrDecoder:
         if remainder:
             self._pos += boundary - remainder
 
-    def _take(self, count: int) -> bytes:
+    def _take(self, count: int) -> memoryview:
         if self._pos + count > len(self._data):
             raise MarshalError(
                 f"CDR underflow: need {count} bytes at {self._pos}, "
@@ -229,13 +248,15 @@ class CdrDecoder:
         if raw[-1] != 0:
             raise MarshalError("CDR string not NUL-terminated")
         try:
-            return raw[:-1].decode("utf-8")
+            # str(buffer, encoding) decodes a memoryview slice without
+            # an intermediate bytes copy.
+            return str(raw[:-1], "utf-8")
         except UnicodeDecodeError as exc:
             raise MarshalError(f"CDR string is not valid UTF-8: {exc}") \
                 from exc
 
     def read_octets(self) -> bytes:
-        return self._take(self.read_ulong())
+        return bytes(self._take(self.read_ulong()))
 
     # -- any -------------------------------------------------------------------
 

@@ -165,12 +165,42 @@ def encode_message(message: Message, little_endian: bool = False) -> bytes:
     return _encode_header(encoder, message_type, encoder.getvalue())
 
 
-def decode_message(data: bytes) -> Message:
-    """Parse GIOP bytes into a message object."""
+#: Cap on the body size a peeked header may announce before the stream
+#: is treated as desynchronised (a frame this large is never legitimate
+#: here and would otherwise stall reassembly buffering gigabytes).
+MAX_FRAME_BODY = 64 * 1024 * 1024
+
+Buffer = bytes | bytearray | memoryview
+
+
+def peek_frame_size(header: Buffer) -> int:
+    """Total frame length (header + body) announced by a GIOP header.
+
+    Reads the size field straight out of *header* — which may be a
+    ``memoryview`` into a receive buffer — without copying or decoding
+    anything else.  Raises :class:`MarshalError` when the 12 octets are
+    not a plausible GIOP header, so framing code can poison the stream
+    instead of mis-slicing every frame behind it.
+    """
+    if len(header) < HEADER_SIZE:
+        raise MarshalError(
+            f"GIOP header needs {HEADER_SIZE} octets, got {len(header)}")
+    if header[:4] != MAGIC:
+        raise MarshalError(f"bad GIOP magic {bytes(header[:4])!r}")
+    little_endian = bool(header[6] & 1)
+    size = int.from_bytes(header[8:12], "little" if little_endian else "big")
+    if size > MAX_FRAME_BODY:
+        raise MarshalError(f"implausible GIOP body size {size}")
+    return HEADER_SIZE + size
+
+
+def decode_message(data: Buffer) -> Message:
+    """Parse GIOP bytes (or a zero-copy ``memoryview``) into a message
+    object."""
     if len(data) < HEADER_SIZE:
         raise MarshalError("GIOP message shorter than its header")
     if data[:4] != MAGIC:
-        raise MarshalError(f"bad GIOP magic {data[:4]!r}")
+        raise MarshalError(f"bad GIOP magic {bytes(data[:4])!r}")
     major, minor = data[4], data[5]
     if (major, minor) != VERSION:
         raise MarshalError(f"unsupported GIOP version {major}.{minor}")
@@ -223,7 +253,8 @@ def decode_message(data: bytes) -> Message:
     raise MarshalError(f"unhandled GIOP message type {message_type!r}")
 
 
-def _peek_decoder(data: bytes) -> tuple[Optional[MessageType], Optional[CdrDecoder]]:
+def _peek_decoder(data: Buffer) -> tuple[Optional[MessageType],
+                                         Optional[CdrDecoder]]:
     """Message type and a body decoder, without decoding the body.
 
     Returns ``(None, None)`` for frames that are not GIOP 1.0 (the
@@ -244,7 +275,7 @@ def _peek_decoder(data: bytes) -> tuple[Optional[MessageType], Optional[CdrDecod
                                     little_endian)
 
 
-def peek_request(data: bytes) -> tuple[Optional[int], bool]:
+def peek_request(data: Buffer) -> tuple[Optional[int], bool]:
     """``(request_id, response_expected)`` of an outgoing frame.
 
     Reads just far enough into the CDR body to find the request id —
@@ -268,7 +299,7 @@ def peek_request(data: bytes) -> tuple[Optional[int], bool]:
     return None, True
 
 
-def peek_reply_id(data: bytes) -> Optional[int]:
+def peek_reply_id(data: Buffer) -> Optional[int]:
     """The request id an incoming Reply/LocateReply frame answers.
 
     ``None`` means the frame is not a reply (or is damaged beyond

@@ -184,7 +184,10 @@ class Orb:
     def servant_count(self) -> int:
         return len(self._servants)
 
-    def _handle_message(self, data: bytes) -> Optional[bytes]:
+    def _handle_message(self, data: "bytes | memoryview") -> Optional[bytes]:
+        # *data* may be a zero-copy ``memoryview`` sliced out of the
+        # event-loop transport's receive buffer; decoding works on the
+        # view in place and only materialises the values produced.
         message = decode_message(data)
         if isinstance(message, LocateRequestMessage):
             status = (LocateStatus.OBJECT_HERE

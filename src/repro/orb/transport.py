@@ -14,12 +14,29 @@ Two interchangeable transports:
   ``pooled=False`` for the per-call behaviour benchmarks use as a
   baseline.
 
+:class:`TcpTransport` runs in one of two I/O modes:
+
+* **threaded** (the legacy mode) — a ``ThreadingTCPServer`` per
+  endpoint, one handler thread per accepted connection, and one reader
+  thread per pipelined client stripe;
+* **event-loop** (``loop=True``, or ``REPRO_TRANSPORT_LOOP=1``) — a
+  single ``selectors``-based reader/writer thread demultiplexes every
+  server-side connection *and* every pipelined client channel.
+  Servant dispatch runs on a small bounded worker pool so application
+  code never blocks the loop; replies are posted back to the loop for
+  non-blocking, batched writes (small GIOP frames queued for the same
+  connection coalesce into one ``send``).  See ``docs/event-loop.md``.
+
 Both expose the same two operations: ``register`` a server endpoint and
 ``send`` a request to an endpoint, returning the reply bytes.
 """
 
 from __future__ import annotations
 
+import heapq
+import itertools
+import os
+import selectors
 import socket
 import socketserver
 import threading
@@ -27,11 +44,12 @@ import time
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Any, Callable, Optional, Union
 
 from repro.deadline import Deadline, current_policy
-from repro.errors import CommFailure, DeadlineExceeded
-from repro.orb.giop import HEADER_SIZE, peek_reply_id, peek_request
+from repro.errors import CommFailure, DeadlineExceeded, MarshalError
+from repro.orb.giop import (HEADER_SIZE, peek_frame_size, peek_reply_id,
+                            peek_request)
 
 #: A server-side message handler: request bytes in, reply bytes out
 #: (None for oneway messages).
@@ -67,6 +85,14 @@ class TransportMetrics:
     max_in_flight: int = 0
     pipeline_stalls: int = 0
     pipeline_overflows: int = 0
+    #: Event-loop write batching: flushes that coalesced more than one
+    #: queued frame into a single ``send``, and how many frames rode
+    #: along in them beyond the first.
+    batch_flushes: int = 0
+    frames_batched: int = 0
+    #: ``pipelined="auto"`` endpoints promoted serial -> striped after
+    #: concurrent in-flight demand was observed.
+    auto_promotions: int = 0
     _lock: threading.Lock = field(default_factory=threading.Lock,
                                   repr=False, compare=False)
 
@@ -101,6 +127,46 @@ class TransportMetrics:
         with self._lock:
             self.pipeline_overflows += 1
 
+    def record_batch(self, frames: int) -> None:
+        """One flush wrote *frames* coalesced frames in a single send.
+
+        Called from the event-loop thread while worker threads are
+        recording dispatch counters — the shared lock is what keeps
+        mixed loop/worker updates coherent.
+        """
+        with self._lock:
+            if frames > 1:
+                self.batch_flushes += 1
+                self.frames_batched += frames - 1
+
+    def record_auto_promotion(self) -> None:
+        with self._lock:
+            self.auto_promotions += 1
+
+    def snapshot(self) -> dict[str, int]:
+        """All counters, read atomically under the lock.
+
+        Field-by-field reads can tear across a concurrent update (the
+        loop thread flushing while a worker records a dispatch);
+        benchmarks and tests that compare related counters should read
+        one snapshot instead.
+        """
+        with self._lock:
+            return {
+                "messages_sent": self.messages_sent,
+                "bytes_sent": self.bytes_sent,
+                "bytes_received": self.bytes_received,
+                "connections_opened": self.connections_opened,
+                "connections_reused": self.connections_reused,
+                "requests_pipelined": self.requests_pipelined,
+                "max_in_flight": self.max_in_flight,
+                "pipeline_stalls": self.pipeline_stalls,
+                "pipeline_overflows": self.pipeline_overflows,
+                "batch_flushes": self.batch_flushes,
+                "frames_batched": self.frames_batched,
+                "auto_promotions": self.auto_promotions,
+            }
+
     def reset(self) -> None:
         with self._lock:
             self.messages_sent = 0
@@ -113,6 +179,9 @@ class TransportMetrics:
             self.max_in_flight = 0
             self.pipeline_stalls = 0
             self.pipeline_overflows = 0
+            self.batch_flushes = 0
+            self.frames_batched = 0
+            self.auto_promotions = 0
 
 
 class Transport:
@@ -201,6 +270,104 @@ def _close_quietly(connection: socket.socket) -> None:
         connection.close()
     except OSError:  # pragma: no cover - close failures are ignorable
         pass
+
+
+#: A frame sliced out of a receive buffer: ``bytes`` when it arrived in
+#: (or spans) whole chunks, a zero-copy ``memoryview`` otherwise.
+Frame = Union[bytes, memoryview]
+
+
+class FrameBuffer:
+    """Reassembles GIOP frames from an arbitrarily-chunked byte stream.
+
+    ``feed`` whatever ``recv`` returned — one byte or a jumbo coalesced
+    write — and ``next_frame`` slices complete frames back out.  The
+    received chunks are kept immutable and *referenced*, never joined
+    wholesale: a frame wholly inside one chunk comes back as a
+    ``memoryview`` of it (or the chunk itself when they coincide —
+    the common case once the peer batches one frame per send), and
+    only a frame spanning chunk boundaries pays one join of exactly
+    its own bytes.  This replaces both the byte-at-a-time header
+    ``recv(1)`` loop and the ``b"".join`` reassembly the threaded
+    readers used on the hot path.
+
+    Not thread-safe: each connection's buffer is owned by one reader
+    (a channel's reader thread, or the event loop).
+    """
+
+    __slots__ = ("_chunks", "_offset", "_size")
+
+    def __init__(self) -> None:
+        self._chunks: deque[bytes] = deque()
+        self._offset = 0  # consumed prefix of _chunks[0]
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def feed(self, data: bytes) -> None:
+        if data:
+            self._chunks.append(data)
+            self._size += len(data)
+
+    def next_frame(self) -> Optional[Frame]:
+        """The next complete GIOP frame, or None until more bytes come.
+
+        Raises :class:`~repro.errors.MarshalError` when the buffered
+        header is not GIOP — the stream can never be resynchronised and
+        the connection must be dropped.
+        """
+        if self._size < HEADER_SIZE:
+            return None
+        total = peek_frame_size(self._peek_header())
+        if self._size < total:
+            return None
+        return self._take(total)
+
+    # ------------------------------------------------------------ internals --
+
+    def _peek_header(self) -> Frame:
+        first = self._chunks[0]
+        if len(first) - self._offset >= HEADER_SIZE:
+            return memoryview(first)[self._offset:self._offset + HEADER_SIZE]
+        parts: list[bytes] = []
+        need = HEADER_SIZE
+        offset = self._offset
+        for chunk in self._chunks:
+            take = min(len(chunk) - offset, need)
+            parts.append(chunk[offset:offset + take])
+            need -= take
+            offset = 0
+            if need == 0:
+                break
+        return b"".join(parts)
+
+    def _take(self, count: int) -> Frame:
+        first = self._chunks[0]
+        available = len(first) - self._offset
+        self._size -= count
+        if available >= count:
+            if self._offset == 0 and available == count:
+                self._chunks.popleft()
+                return first
+            frame = memoryview(first)[self._offset:self._offset + count]
+            self._offset += count
+            if self._offset == len(first):
+                self._chunks.popleft()
+                self._offset = 0
+            return frame
+        parts = []
+        remaining = count
+        while remaining:
+            chunk = self._chunks[0]
+            take = min(len(chunk) - self._offset, remaining)
+            parts.append(memoryview(chunk)[self._offset:self._offset + take])
+            remaining -= take
+            self._offset += take
+            if self._offset == len(chunk):
+                self._chunks.popleft()
+                self._offset = 0
+        return b"".join(parts)
 
 
 class _GiopRequestHandler(socketserver.BaseRequestHandler):
@@ -334,6 +501,13 @@ class _ConnectionPool:
 #: for every other request on the connection.
 _MIN_READ_SLICE = 0.1
 
+#: How much one recv pulls off a socket on the framed read paths.
+_RECV_SIZE = 256 * 1024
+
+
+def _as_bytes(frame: Frame) -> bytes:
+    return frame if isinstance(frame, bytes) else bytes(frame)
+
 
 class _ChannelDead(Exception):
     """The pipelined connection died before this request was sent."""
@@ -354,7 +528,7 @@ class _PendingReply:
 
     def __init__(self) -> None:
         self.event = threading.Event()
-        self.frame: Optional[bytes] = None
+        self.frame: Optional[Frame] = None
         self.error: Optional[Exception] = None
 
 
@@ -444,9 +618,33 @@ class _PipelinedChannel:
         _close_quietly(self._sock)
 
     def _read_loop(self) -> None:
+        # Frames are sliced out of a growable buffer fed by large
+        # recvs: the old implementation read the first header byte with
+        # recv(1) in a loop — one syscall per byte between frames.
+        # Timeouts while the buffer sits on a frame boundary are benign
+        # (an idle keep-alive connection); a timeout with a partial
+        # frame buffered is fatal, because the stream can no longer be
+        # resynchronised.
+        buffer = FrameBuffer()
         try:
             while True:
-                frame = self._read_frame()
+                frame = buffer.next_frame()
+                if frame is None:
+                    try:
+                        chunk = self._sock.recv(_RECV_SIZE)
+                    except TimeoutError:
+                        if self._closed:
+                            raise CommFailure(
+                                "pipelined connection closed") from None
+                        if len(buffer):
+                            raise CommFailure(
+                                f"timed out mid-frame on pipelined "
+                                f"connection to {self.endpoint!r}") from None
+                        continue
+                    if not chunk:
+                        raise CommFailure("connection closed by peer")
+                    buffer.feed(chunk)
+                    continue
                 request_id = peek_reply_id(frame)
                 if request_id is None:
                     raise CommFailure(
@@ -459,46 +657,534 @@ class _PipelinedChannel:
                     slot.event.set()
                 # No slot: the caller cancelled (stall timeout) and the
                 # reply arrived late — drop it, framing stays in sync.
-        except (OSError, CommFailure) as exc:
+        except (OSError, CommFailure, MarshalError) as exc:
             self._kill(CommFailure(f"pipelined connection to "
                                    f"{self.endpoint!r} broke: {exc}")
                        if not isinstance(exc, CommFailure) else exc)
 
-    def _read_frame(self) -> bytes:
-        first = self._recv_between_frames()
-        header = first + self._read_exact(HEADER_SIZE - 1)
-        little_endian = bool(header[6] & 1)
-        size = int.from_bytes(header[8:12],
-                              "little" if little_endian else "big")
-        body = self._read_exact(size) if size else b""
-        return header + body
 
-    def _recv_between_frames(self) -> bytes:
-        """First byte of the next frame.  Timeouts *between* frames are
-        benign (an idle keep-alive connection); once a frame has
-        started, :meth:`_read_exact` treats a timeout as fatal because
-        the stream can no longer be resynchronised."""
+#: Listen backlog for event-loop endpoints.  The loop drains accepts in
+#: a tight non-blocking burst, so a storm of connecting clients queues
+#: here instead of hitting kernel SYN retransmit timers.
+_LOOP_BACKLOG = 512
+
+
+def _loop_default() -> bool:
+    """Process-wide default for ``TcpTransport(loop=...)``: CI's
+    transport-mode matrix flips whole suites to the event loop by
+    exporting ``REPRO_TRANSPORT_LOOP=1`` without touching any test."""
+    return os.environ.get("REPRO_TRANSPORT_LOOP", "").lower() in (
+        "1", "true", "yes", "event-loop", "eventloop")
+
+
+class _EventLoop:
+    """One ``selectors`` thread demultiplexing every socket the
+    transport owns: listeners, accepted server connections, and
+    pipelined client channels.
+
+    Everything that touches the selector or a stream's write queue runs
+    on the loop thread; other threads get in via :meth:`call_soon`
+    (append a callback, wake the selector through a socketpair) or
+    :meth:`call_later` (a monotonic timer heap — how the modelled WAN
+    ``latency`` delays replies without parking a worker thread).  Each
+    iteration drains ready I/O, then callbacks, then due timers, and
+    only then flushes connections with queued output — that final flush
+    is the frame-batching window: every frame enqueued for the same
+    connection during the iteration leaves in one ``send``.
+    """
+
+    def __init__(self, batch_flush: int, metrics: TransportMetrics,
+                 name: str = "giop-loop"):
+        self.batch_flush = batch_flush
+        self.metrics = metrics
+        self._selector = selectors.DefaultSelector()
+        wake_recv, wake_send = socket.socketpair()
+        wake_recv.setblocking(False)
+        wake_send.setblocking(False)
+        self._wake_recv, self._wake_send = wake_recv, wake_send
+        self._selector.register(wake_recv, selectors.EVENT_READ,
+                                self._drain_wakeups)
+        self._callbacks: deque[tuple[Callable, tuple]] = deque()
+        self._callback_lock = threading.Lock()
+        self._timers: list[tuple[float, int, Callable, tuple]] = []
+        self._timer_seq = itertools.count()
+        self._dirty: set["_LoopStream"] = set()
+        self._running = True
+        self._thread = threading.Thread(target=self._run, name=name,
+                                        daemon=True)
+        self._thread.start()
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def on_loop_thread(self) -> bool:
+        return threading.current_thread() is self._thread
+
+    # ------------------------------------------------- cross-thread entry --
+
+    def call_soon(self, fn: Callable, *args: Any) -> None:
+        with self._callback_lock:
+            self._callbacks.append((fn, args))
+        self._wake()
+
+    def call_later(self, delay: float, fn: Callable, *args: Any) -> None:
+        due = time.monotonic() + delay
+        with self._callback_lock:
+            heapq.heappush(self._timers,
+                           (due, next(self._timer_seq), fn, args))
+        self._wake()
+
+    def call_soon_sync(self, fn: Callable, *args: Any,
+                       timeout: float = 5.0) -> Any:
+        """Run *fn* on the loop thread and wait for its result.  Falls
+        back to running inline when the loop is already stopped (then
+        nothing else touches the selector concurrently)."""
+        if self.on_loop_thread() or not self._running:
+            return fn(*args)
+        done = threading.Event()
+        box: dict[str, Any] = {}
+
+        def runner() -> None:
+            try:
+                box["result"] = fn(*args)
+            except Exception as exc:  # noqa: BLE001 - re-raised below
+                box["error"] = exc
+            finally:
+                done.set()
+
+        self.call_soon(runner)
+        done.wait(timeout)
+        if "error" in box:
+            raise box["error"]
+        return box.get("result")
+
+    def stop(self) -> None:
+        if not self._running:
+            return
+        self._running = False
+        self._wake()
+        if not self.on_loop_thread():
+            self._thread.join(timeout=5.0)
+
+    # ------------------------------------------------- loop-thread only --
+
+    def register_stream(self, sock: socket.socket, events: int,
+                        callback: Callable[[int], None]) -> None:
+        self._selector.register(sock, events, callback)
+
+    def modify_stream(self, sock: socket.socket, events: int,
+                      callback: Callable[[int], None]) -> None:
+        self._selector.modify(sock, events, callback)
+
+    def unregister_stream(self, sock: socket.socket) -> None:
+        try:
+            self._selector.unregister(sock)
+        except (KeyError, ValueError):
+            pass
+
+    def mark_dirty(self, stream: "_LoopStream") -> None:
+        self._dirty.add(stream)
+
+    def _wake(self) -> None:
+        try:
+            self._wake_send.send(b"\x00")
+        except (BlockingIOError, OSError):
+            pass  # a wakeup is already pending (or the loop is gone)
+
+    def _drain_wakeups(self, mask: int) -> None:
+        try:
+            while self._wake_recv.recv(4096):
+                pass
+        except (BlockingIOError, OSError):
+            pass
+
+    def _run(self) -> None:
+        while self._running:
+            with self._callback_lock:
+                have_callbacks = bool(self._callbacks)
+                next_due = self._timers[0][0] if self._timers else None
+            if have_callbacks:
+                timeout: Optional[float] = 0.0
+            elif next_due is not None:
+                timeout = max(0.0, next_due - time.monotonic())
+            else:
+                timeout = None
+            try:
+                events = self._selector.select(timeout)
+            except OSError:  # pragma: no cover - fd closed mid-select
+                events = []
+            for key, mask in events:
+                try:
+                    key.data(mask)
+                except Exception:  # noqa: BLE001 - a broken stream
+                    pass  # must never take the whole loop down
+            self._run_callbacks()
+            self._run_timers()
+            self._flush_dirty()
+        self._teardown()
+
+    def _run_callbacks(self) -> None:
+        while True:
+            with self._callback_lock:
+                if not self._callbacks:
+                    return
+                fn, args = self._callbacks.popleft()
+            try:
+                fn(*args)
+            except Exception:  # noqa: BLE001 - see _run
+                pass
+
+    def _run_timers(self) -> None:
+        while True:
+            with self._callback_lock:
+                if not self._timers \
+                        or self._timers[0][0] > time.monotonic():
+                    return
+                __, __, fn, args = heapq.heappop(self._timers)
+            try:
+                fn(*args)
+            except Exception:  # noqa: BLE001 - see _run
+                pass
+
+    def _flush_dirty(self) -> None:
+        if not self._dirty:
+            return
+        dirty, self._dirty = self._dirty, set()
+        for stream in dirty:
+            stream.flush()
+
+    def _teardown(self) -> None:
+        for key in list(self._selector.get_map().values()):
+            if key.fileobj not in (self._wake_recv, self._wake_send):
+                _close_quietly(key.fileobj)  # type: ignore[arg-type]
+        self._selector.close()
+        _close_quietly(self._wake_recv)
+        _close_quietly(self._wake_send)
+
+
+class _LoopStream:
+    """A non-blocking socket driven by the event loop, with a write
+    queue whose flush coalesces queued frames into batched sends."""
+
+    def __init__(self, loop: _EventLoop, sock: socket.socket):
+        self.loop = loop
+        self.sock = sock
+        self._out: deque[Frame] = deque()
+        self._out_view: Optional[memoryview] = None
+        self._write_interest = False
+        self._stream_closed = False
+
+    # Loop-thread only from here down.
+
+    def register(self) -> None:
+        if self._stream_closed:
+            return
+        self.loop.register_stream(self.sock, selectors.EVENT_READ,
+                                  self._on_event)
+
+    def _on_event(self, mask: int) -> None:
+        if self._stream_closed:
+            return
+        if mask & selectors.EVENT_READ:
+            self.on_readable()
+        if mask & selectors.EVENT_WRITE and not self._stream_closed:
+            self.flush()
+
+    def on_readable(self) -> None:
+        raise NotImplementedError  # pragma: no cover - interface
+
+    def on_write_error(self, exc: OSError) -> None:
+        raise NotImplementedError  # pragma: no cover - interface
+
+    def enqueue(self, data: Frame) -> None:
+        if self._stream_closed:
+            return
+        self._out.append(data)
+        self.loop.mark_dirty(self)
+
+    def flush(self) -> None:
+        """Write as much queued output as the socket accepts, frames
+        batched: everything enqueued since the last flush leaves in as
+        few ``send`` calls as ``batch_flush`` allows."""
+        if self._stream_closed:
+            return
+        try:
+            while True:
+                if self._out_view is None:
+                    if not self._out:
+                        break
+                    self._out_view = memoryview(self._next_batch())
+                sent = self.sock.send(self._out_view)
+                if sent == len(self._out_view):
+                    self._out_view = None
+                else:
+                    # Kernel buffer full: keep the remainder for the
+                    # next writability event.
+                    self._out_view = self._out_view[sent:]
+                    break
+        except (BlockingIOError, InterruptedError):
+            pass
+        except OSError as exc:
+            self.on_write_error(exc)
+            return
+        self._set_write_interest(self._out_view is not None
+                                 or bool(self._out))
+
+    def _next_batch(self) -> bytes:
+        if len(self._out) == 1:
+            return _as_bytes(self._out.popleft())
+        batch: list[bytes] = []
+        size = 0
+        while self._out and size < self.loop.batch_flush:
+            piece = self._out.popleft()
+            batch.append(_as_bytes(piece))
+            size += len(piece)
+        if len(batch) == 1:
+            return batch[0]
+        self.loop.metrics.record_batch(len(batch))
+        return b"".join(batch)
+
+    def _set_write_interest(self, want: bool) -> None:
+        if want == self._write_interest or self._stream_closed:
+            return
+        self._write_interest = want
+        events = selectors.EVENT_READ
+        if want:
+            events |= selectors.EVENT_WRITE
+        try:
+            self.loop.modify_stream(self.sock, events, self._on_event)
+        except (KeyError, ValueError, OSError):  # pragma: no cover
+            pass
+
+    def close_stream(self) -> None:
+        if self._stream_closed:
+            return
+        self._stream_closed = True
+        self.loop.unregister_stream(self.sock)
+        _close_quietly(self.sock)
+        self._out.clear()
+        self._out_view = None
+
+
+class _LoopServerConnection(_LoopStream):
+    """One accepted server-side connection: reads are sliced into
+    frames and dispatched to the transport's worker pool; replies are
+    posted back by the workers and leave through the batched flush."""
+
+    def __init__(self, loop: _EventLoop, transport: "TcpTransport",
+                 listener: "_LoopListener", sock: socket.socket):
+        super().__init__(loop, sock)
+        self.transport = transport
+        self.listener = listener
+        self.endpoint = listener.endpoint
+        self.buffer = FrameBuffer()
+
+    def on_readable(self) -> None:
         while True:
             try:
-                chunk = self._sock.recv(1)
-            except TimeoutError:
-                if self._closed:
-                    raise CommFailure("pipelined connection closed")
-                continue
+                chunk = self.sock.recv(_RECV_SIZE)
+            except (BlockingIOError, InterruptedError):
+                break
+            except OSError:
+                self.close()
+                return
             if not chunk:
-                raise CommFailure("connection closed by peer")
-            return chunk
+                self.close()
+                return
+            self.buffer.feed(chunk)
+            if len(chunk) < _RECV_SIZE:
+                break
+        while True:
+            try:
+                frame = self.buffer.next_frame()
+            except MarshalError:
+                # Not a GIOP stream (or desynchronised): poisoned.
+                self.close()
+                return
+            if frame is None:
+                return
+            self.transport._dispatch_loop_frame(self, frame)
 
-    def _read_exact(self, count: int) -> bytes:
-        chunks: list[bytes] = []
-        remaining = count
-        while remaining > 0:
-            chunk = self._sock.recv(remaining)
+    def on_write_error(self, exc: OSError) -> None:
+        self.close()
+
+    def close(self) -> None:
+        self.listener.connections.discard(self)
+        self.close_stream()
+
+
+class _LoopListener:
+    """A non-blocking listening socket: accepts drain in one burst and
+    each accepted connection joins the loop — no thread per client."""
+
+    def __init__(self, loop: _EventLoop, transport: "TcpTransport",
+                 endpoint: Endpoint, sock: socket.socket):
+        self.loop = loop
+        self.transport = transport
+        self.endpoint = endpoint
+        self.sock = sock
+        self.connections: set[_LoopServerConnection] = set()
+        self._closed = False
+
+    def register(self) -> None:
+        if not self._closed:
+            self.loop.register_stream(self.sock, selectors.EVENT_READ,
+                                      self._on_event)
+
+    def _on_event(self, mask: int) -> None:
+        while not self._closed:
+            try:
+                conn_sock, __ = self.sock.accept()
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError:
+                return
+            conn_sock.setblocking(False)
+            try:
+                conn_sock.setsockopt(socket.IPPROTO_TCP,
+                                     socket.TCP_NODELAY, 1)
+            except OSError:  # pragma: no cover - not fatal
+                pass
+            connection = _LoopServerConnection(self.loop, self.transport,
+                                               self, conn_sock)
+            self.connections.add(connection)
+            connection.register()
+
+    def close(self) -> None:
+        """Loop-thread only (via call_soon_sync from unregister)."""
+        if self._closed:
+            return
+        self._closed = True
+        self.loop.unregister_stream(self.sock)
+        _close_quietly(self.sock)
+        for connection in list(self.connections):
+            connection.close()
+        self.connections.clear()
+
+
+class _LoopChannel(_LoopStream):
+    """A pipelined client channel multiplexed on the event loop.
+
+    Duck-types :class:`_PipelinedChannel` (``submit`` / ``cancel`` /
+    ``close`` / ``dead`` / ``in_flight``) so the transport's stripe
+    checkout, overflow, and fault-attribution machinery is shared
+    verbatim between the threaded and event-loop modes.  The
+    differences: there is no reader thread (the loop delivers reply
+    frames), and the send happens asynchronously on the loop — so a
+    write failure surfaces through each pending caller's slot (the
+    same path as a mid-pipeline connection death) rather than as a
+    synchronous ``OSError`` from ``submit``.
+    """
+
+    def __init__(self, loop: _EventLoop, endpoint: Endpoint,
+                 sock: socket.socket):
+        super().__init__(loop, sock)
+        self.endpoint = endpoint
+        self.buffer = FrameBuffer()
+        self._state_lock = threading.Lock()
+        self._pending: dict[int, _PendingReply] = {}
+        self._dead_cause: Optional[Exception] = None
+        loop.call_soon(self.register)
+
+    # ----------------------------------------------- channel API (any thread) --
+
+    @property
+    def dead(self) -> bool:
+        return self._dead_cause is not None
+
+    def in_flight(self) -> int:
+        with self._state_lock:
+            return len(self._pending)
+
+    def submit(self, request_id: int, data: bytes,
+               timeout: float) -> tuple[_PendingReply, int]:
+        slot = _PendingReply()
+        with self._state_lock:
+            if self._dead_cause is not None:
+                raise _ChannelDead(self._dead_cause)
+            if request_id in self._pending:
+                raise _RequestIdBusy(request_id)
+            self._pending[request_id] = slot
+            depth = len(self._pending)
+        self.loop.call_soon(self.enqueue, data)
+        return slot, depth
+
+    def cancel(self, request_id: int) -> None:
+        with self._state_lock:
+            self._pending.pop(request_id, None)
+
+    def close(self) -> None:
+        self._kill(CommFailure(
+            f"pipelined connection to {self.endpoint!r} closed"))
+
+    def _kill(self, cause: Exception) -> None:
+        """Any thread: fail every pending caller *now* (so checkout
+        sees ``dead`` immediately), then tear the socket down on the
+        loop thread where the selector lives."""
+        with self._state_lock:
+            if self._dead_cause is None:
+                self._dead_cause = cause
+            doomed = list(self._pending.values())
+            self._pending.clear()
+        for slot in doomed:
+            slot.error = cause
+            slot.event.set()
+        if self.loop.running:
+            self.loop.call_soon(self.close_stream)
+        else:
+            self.close_stream()
+
+    # ------------------------------------------------------- loop thread --
+
+    def on_readable(self) -> None:
+        while True:
+            try:
+                chunk = self.sock.recv(_RECV_SIZE)
+            except (BlockingIOError, InterruptedError):
+                break
+            except OSError as exc:
+                self._kill(CommFailure(
+                    f"pipelined connection to {self.endpoint!r} broke: "
+                    f"{exc}"))
+                return
             if not chunk:
-                raise CommFailure("connection closed mid-message")
-            chunks.append(chunk)
-            remaining -= len(chunk)
-        return b"".join(chunks)
+                self._kill(CommFailure("connection closed by peer"))
+                return
+            self.buffer.feed(chunk)
+            if len(chunk) < _RECV_SIZE:
+                break
+        while True:
+            try:
+                frame = self.buffer.next_frame()
+            except MarshalError as exc:
+                self._kill(CommFailure(
+                    f"pipelined connection to {self.endpoint!r} broke: "
+                    f"{exc}"))
+                return
+            if frame is None:
+                return
+            request_id = peek_reply_id(frame)
+            if request_id is None:
+                self._kill(CommFailure(
+                    f"unattributable frame on pipelined connection to "
+                    f"{self.endpoint!r}"))
+                return
+            with self._state_lock:
+                slot = self._pending.pop(request_id, None)
+            if slot is not None:
+                slot.frame = frame
+                slot.event.set()
+            # No slot: cancelled caller's late reply — drop it.
+
+    def on_write_error(self, exc: OSError) -> None:
+        self._kill(CommFailure(
+            f"pipelined connection to {self.endpoint!r} broke: {exc}"))
+
+
+#: Either pipelined-channel implementation; they share the submit /
+#: cancel / close / dead / in_flight contract.
+_AnyChannel = Union[_PipelinedChannel, _LoopChannel]
 
 
 class TcpTransport(Transport):
@@ -536,12 +1222,33 @@ class TcpTransport(Transport):
     decides per caller whether a resend is safe, and only the dead
     stripe is discarded (healthy sibling stripes keep their traffic).
     See ``docs/pipelining.md``.
+
+    ``pipelined="auto"`` starts every endpoint serial and promotes it
+    to striped pipelining permanently the first time two callers are
+    observed in ``send`` to the same endpoint at once — the signal that
+    a shared multiplexed connection beats per-caller round-trips.
+    ``stripes``/``pipeline_depth`` then act as tuning hints for the
+    promoted regime (``stripes`` defaults to 4 in auto mode).
+
+    ``loop=True`` (or ``REPRO_TRANSPORT_LOOP=1``) selects the
+    event-loop I/O mode; ``loop_workers`` bounds the servant dispatch
+    pool and ``batch_flush`` caps how many queued bytes one flush
+    coalesces into a single ``send``.  See ``docs/event-loop.md``.
     """
+
+    _instance_seq = itertools.count(1)
 
     def __init__(self, host: str = "127.0.0.1", timeout: float = 5.0,
                  pooled: bool = True, pool_size: int = 8,
-                 latency: float = 0.0, pipelined: bool = False,
-                 stripes: int = 1, pipeline_depth: int = 32):
+                 latency: float = 0.0,
+                 pipelined: Union[bool, str] = False,
+                 stripes: Optional[int] = None, pipeline_depth: int = 32,
+                 loop: Optional[bool] = None, loop_workers: int = 6,
+                 batch_flush: int = 64 * 1024, auto_threshold: int = 2):
+        if pipelined not in (False, True, "auto"):
+            raise ValueError(
+                f"pipelined must be False, True, or 'auto', "
+                f"got {pipelined!r}")
         self.host = host
         self.timeout = timeout
         self.pooled = pooled
@@ -549,23 +1256,57 @@ class TcpTransport(Transport):
         #: Pipelined connections per endpoint; concurrent callers are
         #: spread across stripes by least-loaded choice, and a new
         #: stripe is only opened when every existing one is busy.
+        #: Unset, it defaults to 1 — except in auto mode, where a
+        #: promoted endpoint goes straight to 4-way striping.
+        if stripes is None:
+            stripes = 4 if pipelined == "auto" else 1
         self.stripes = max(1, int(stripes))
         #: Max requests in flight per pipelined connection.
         self.pipeline_depth = max(1, int(pipeline_depth))
         #: Simulated one-way WAN delay (seconds) applied server-side to
         #: every request.  The paper's federation spans Internet sites;
         #: loopback is the degenerate zero-latency case, so benches set
-        #: this to model realistic inter-site RTTs.  Sleeping releases
-        #: the GIL, so concurrent requests overlap the delay exactly as
-        #: real network waits would.
+        #: this to model realistic inter-site RTTs.  In threaded mode
+        #: the handler sleeps (releasing the GIL, so concurrent
+        #: requests overlap the delay); in event-loop mode the reply is
+        #: delayed on the loop's timer heap instead, so the wait
+        #: occupies no worker thread at all.
         self.latency = latency
+        #: Event-loop mode, defaulting from ``REPRO_TRANSPORT_LOOP``.
+        self.loop_enabled = _loop_default() if loop is None else bool(loop)
+        self.loop_workers = max(1, int(loop_workers))
+        self.batch_flush = max(1, int(batch_flush))
+        #: Concurrent senders to one endpoint that trigger an auto
+        #: promotion (2 = the first time any overlap is observed).
+        self.auto_threshold = max(2, int(auto_threshold))
         self._pool = _ConnectionPool(max_idle=pool_size) if pooled else None
-        self._channels: dict[Endpoint, list[_PipelinedChannel]] = {}
+        self._channels: dict[Endpoint, list[_AnyChannel]] = {}
         self._channels_lock = threading.Lock()
         self._servers: dict[Endpoint, _GiopServer] = {}
+        self._listeners: dict[Endpoint, _LoopListener] = {}
         self._handlers: dict[Endpoint, Handler] = {}
         self._lock = threading.RLock()
+        self._auto_lock = threading.Lock()
+        self._auto_inflight: dict[Endpoint, int] = {}
+        self._auto_promoted: set[Endpoint] = set()
+        self._seq = next(TcpTransport._instance_seq)
+        self._loop_name = f"giop-loop-{self._seq}"
+        self._worker_prefix = f"giop-exec-{self._seq}"
+        self._event_loop: Optional[_EventLoop] = None
+        self._workers: Optional[ThreadPoolExecutor] = None
+        self._loop_lock = threading.Lock()
         self.metrics = TransportMetrics()
+
+    def _ensure_loop(self) -> _EventLoop:
+        with self._loop_lock:
+            if self._event_loop is None or not self._event_loop.running:
+                self._event_loop = _EventLoop(self.batch_flush,
+                                              self.metrics,
+                                              name=self._loop_name)
+                self._workers = ThreadPoolExecutor(
+                    max_workers=self.loop_workers,
+                    thread_name_prefix=self._worker_prefix)
+            return self._event_loop
 
     def register(self, endpoint: Endpoint, handler: Handler) -> Endpoint:
         # Logical hostnames ("dba.icis.qut.edu.au") are DNS names the
@@ -573,6 +1314,8 @@ class TcpTransport(Transport):
         # the transport's local interface, and the OS-assigned port
         # keeps endpoints (and therefore IORs) distinct.
         __, port = endpoint
+        if self.loop_enabled:
+            return self._register_loop(port, handler)
         server = _GiopServer((self.host, port), _GiopRequestHandler)
         server.transport = self  # type: ignore[attr-defined]
         bound = (self.host, server.server_address[1])
@@ -584,6 +1327,25 @@ class TcpTransport(Transport):
         thread.start()
         return bound
 
+    def _register_loop(self, port: int, handler: Handler) -> Endpoint:
+        # Bind synchronously (so the OS-assigned port is known before
+        # returning), then hand the listener to the loop to accept on.
+        loop = self._ensure_loop()
+        try:
+            sock = socket.create_server((self.host, port),
+                                        backlog=_LOOP_BACKLOG)
+        except OSError as exc:
+            raise CommFailure(
+                f"cannot bind {(self.host, port)!r}: {exc}") from exc
+        sock.setblocking(False)
+        bound = (self.host, sock.getsockname()[1])
+        listener = _LoopListener(loop, self, bound, sock)
+        with self._lock:
+            self._listeners[bound] = listener
+            self._handlers[bound] = handler
+        loop.call_soon(listener.register)
+        return bound
+
     def handler_for(self, endpoint: Endpoint) -> Optional[Handler]:
         with self._lock:
             return self._handlers.get(endpoint)
@@ -591,6 +1353,7 @@ class TcpTransport(Transport):
     def unregister(self, endpoint: Endpoint) -> None:
         with self._lock:
             server = self._servers.pop(endpoint, None)
+            listener = self._listeners.pop(endpoint, None)
             self._handlers.pop(endpoint, None)
         if self._pool is not None:
             self._pool.discard(endpoint)
@@ -601,6 +1364,50 @@ class TcpTransport(Transport):
         if server is not None:
             server.shutdown()
             server.server_close()
+        if listener is not None and self._event_loop is not None:
+            self._event_loop.call_soon_sync(listener.close)
+
+    # ---------------------------------------------------- event-loop server --
+
+    def _dispatch_loop_frame(self, connection: _LoopServerConnection,
+                             frame: Frame) -> None:
+        """Loop thread: hand one decoded-off-the-wire frame to the
+        worker pool.  The loop never runs servant code itself."""
+        handler = self.handler_for(connection.endpoint)
+        if handler is None or self._workers is None:
+            connection.close()
+            return
+        try:
+            self._workers.submit(self._serve_loop_frame, connection,
+                                 handler, frame)
+        except RuntimeError:  # pool shut down mid-close
+            connection.close()
+
+    def _serve_loop_frame(self, connection: _LoopServerConnection,
+                          handler: Handler, frame: Frame) -> None:
+        """Worker thread: run the servant, post the reply back to the
+        loop.  The modelled WAN ``latency`` is applied as a timer delay
+        on the reply rather than a worker sleep — a storm of delayed
+        requests parks on the loop's heap, not on scarce threads."""
+        loop = self._event_loop
+        try:
+            reply = handler(frame)
+        except Exception:  # noqa: BLE001 - undecodable frame: the
+            if loop is not None:  # stream is poisoned, drop it
+                loop.call_soon(connection.close)
+            return
+        if reply and loop is not None:
+            if self.latency > 0:
+                loop.call_later(self.latency, connection.enqueue, reply)
+            else:
+                loop.call_soon(connection.enqueue, reply)
+
+    def server_thread_count(self) -> int:
+        """OS threads this transport's event-loop server side is using
+        (the loop plus started workers) — what the storm bench bounds."""
+        return sum(1 for thread in threading.enumerate()
+                   if thread.name == self._loop_name
+                   or thread.name.startswith(self._worker_prefix))
 
     def _roundtrip(self, connection: socket.socket, data: bytes) -> bytes:
         connection.sendall(data)
@@ -616,15 +1423,57 @@ class TcpTransport(Transport):
 
     def send(self, endpoint: Endpoint, data: bytes) -> bytes:
         timeout, deadline = self._effective_timeout()
-        if self.pipelined:
-            request_id, response_expected = peek_request(data)
-            if request_id is not None:
-                return self._send_pipelined(endpoint, data, request_id,
-                                            response_expected, timeout,
-                                            deadline)
-            # Frames without a request id cannot be matched to a reply:
-            # give them a dedicated serial round-trip.
-        return self._send_serial(endpoint, data, timeout, deadline)
+        use_pipeline = self.pipelined is True
+        tracking_auto = False
+        if self.pipelined == "auto":
+            use_pipeline, tracking_auto = self._auto_enter(endpoint)
+        try:
+            if use_pipeline:
+                request_id, response_expected = peek_request(data)
+                if request_id is not None:
+                    return self._send_pipelined(endpoint, data, request_id,
+                                                response_expected, timeout,
+                                                deadline)
+                # Frames without a request id cannot be matched to a
+                # reply: give them a dedicated serial round-trip.
+            return self._send_serial(endpoint, data, timeout, deadline)
+        finally:
+            if tracking_auto:
+                self._auto_leave(endpoint)
+
+    def _auto_enter(self, endpoint: Endpoint) -> tuple[bool, bool]:
+        """Auto mode, on the way into ``send``: returns
+        ``(use_pipeline, tracking)``.  An endpoint not yet promoted has
+        its concurrent-sender count bumped; reaching the threshold
+        promotes it permanently (including for this very call)."""
+        with self._auto_lock:
+            if endpoint in self._auto_promoted:
+                return True, False
+            depth = self._auto_inflight.get(endpoint, 0) + 1
+            self._auto_inflight[endpoint] = depth
+            if depth < self.auto_threshold:
+                return False, True
+            self._auto_promoted.add(endpoint)
+        self.metrics.record_auto_promotion()
+        return True, True
+
+    def _auto_leave(self, endpoint: Endpoint) -> None:
+        with self._auto_lock:
+            remaining = self._auto_inflight.get(endpoint, 0) - 1
+            if remaining > 0:
+                self._auto_inflight[endpoint] = remaining
+            else:
+                self._auto_inflight.pop(endpoint, None)
+
+    def pipelining_active(self, endpoint: Endpoint) -> bool:
+        """Whether requests to *endpoint* currently pipeline (always in
+        ``pipelined=True`` mode; in auto mode, once promoted)."""
+        if self.pipelined is True:
+            return True
+        if self.pipelined != "auto":
+            return False
+        with self._auto_lock:
+            return endpoint in self._auto_promoted
 
     def _send_serial(self, endpoint: Endpoint, data: bytes,
                      timeout: float, deadline: Optional[Deadline]) -> bytes:
@@ -738,7 +1587,7 @@ class TcpTransport(Transport):
             channel.cancel(request_id)
             if slot.frame is not None:  # delivered in the cancel race
                 self.metrics.record(endpoint, len(data), len(slot.frame))
-                return slot.frame
+                return _as_bytes(slot.frame)
             self.metrics.record_stall()
             if deadline is not None and deadline.expired:
                 raise DeadlineExceeded(
@@ -756,13 +1605,13 @@ class TcpTransport(Transport):
             self._drop_channel(endpoint, channel)
             self._gate_resend(endpoint, slot.error, deadline)
             return self._send_serial(endpoint, data, timeout, deadline)
-        reply = slot.frame or b""
+        reply = _as_bytes(slot.frame) if slot.frame is not None else b""
         self.metrics.record(endpoint, len(data), len(reply))
         return reply
 
     def _checkout_channel(self, endpoint: Endpoint, timeout: float,
                           deadline: Optional[Deadline]
-                          ) -> tuple[Optional[_PipelinedChannel], bool]:
+                          ) -> tuple[Optional[_AnyChannel], bool]:
         """The least-loaded live stripe for *endpoint* (opening a new
         one while under the stripe cap and all existing stripes are
         busy), as ``(channel, opened)``.  ``(None, False)`` means every
@@ -772,7 +1621,7 @@ class TcpTransport(Transport):
                         for channel in self._channels.get(endpoint, ())
                         if not channel.dead]
             self._channels[endpoint] = channels
-            best = min(channels, key=_PipelinedChannel.in_flight,
+            best = min(channels, key=lambda channel: channel.in_flight(),
                        default=None)
             if best is not None:
                 load = best.in_flight()
@@ -790,12 +1639,23 @@ class TcpTransport(Transport):
                         f"deadline: {exc}") from exc
                 raise CommFailure(
                     f"IIOP connect to {endpoint!r} failed: {exc}") from exc
-            channel = _PipelinedChannel(endpoint, connection)
+            channel: _AnyChannel
+            if self.loop_enabled:
+                connection.setblocking(False)
+                try:
+                    connection.setsockopt(socket.IPPROTO_TCP,
+                                          socket.TCP_NODELAY, 1)
+                except OSError:  # pragma: no cover - not fatal
+                    pass
+                channel = _LoopChannel(self._ensure_loop(), endpoint,
+                                       connection)
+            else:
+                channel = _PipelinedChannel(endpoint, connection)
             channels.append(channel)
             return channel, True
 
     def _drop_channel(self, endpoint: Endpoint,
-                      channel: _PipelinedChannel) -> None:
+                      channel: _AnyChannel) -> None:
         """Discard one dead stripe.  Healthy sibling stripes — and the
         requests in flight on them — are untouched."""
         with self._channels_lock:
@@ -848,5 +1708,12 @@ class TcpTransport(Transport):
             self._channels.clear()
         for channel in channels:
             channel.close()
-        for endpoint in list(self._servers):
+        for endpoint in list(self._servers) + list(self._listeners):
             self.unregister(endpoint)
+        with self._loop_lock:
+            loop, self._event_loop = self._event_loop, None
+            workers, self._workers = self._workers, None
+        if loop is not None:
+            loop.stop()
+        if workers is not None:
+            workers.shutdown(wait=False)

@@ -154,3 +154,61 @@ def test_sequential_values_share_stream(values):
     for value in values:
         assert decoder.read_any() == value
     assert decoder.remaining() == 0
+
+
+# ----------------------------------------------------- zero-copy decoding --
+
+
+@given(value=json_like)
+@settings(max_examples=80, deadline=None)
+def test_memoryview_decode_equals_bytes_decode(value):
+    """Decoding a memoryview of the encoded bytes — as the event-loop
+    transport does with frames sliced from its receive buffer — yields
+    exactly what decoding the bytes themselves does."""
+    encoded = encode_any(value)
+    from_bytes = CdrDecoder(encoded).read_any()
+    from_view = CdrDecoder(memoryview(encoded)).read_any()
+    assert from_view == from_bytes == value
+
+
+def test_memoryview_decode_accepts_offset_slices():
+    """A decoder over a view into the middle of a larger buffer (a
+    frame inside a coalesced recv) sees only its own bytes."""
+    payload = encode_any(["abc", 42, {"k": b"\x00\xff"}])
+    padded = b"\xde\xad" + payload + b"\xbe\xef"
+    view = memoryview(padded)[2:2 + len(payload)]
+    assert CdrDecoder(view).read_any() == ["abc", 42, {"k": b"\x00\xff"}]
+
+
+def test_decoded_values_survive_buffer_release():
+    """Escaping values (strings, octets) are materialised: they stay
+    valid after the receive buffer's view is released."""
+    encoded = encode_any({"name": "codb", "blob": b"xyz"})
+    view = memoryview(bytearray(encoded))  # writable, releasable buffer
+    decoded = CdrDecoder(view).read_any()
+    view.release()
+    assert decoded == {"name": "codb", "blob": b"xyz"}
+
+
+def test_getvalue_is_cached_and_invalidated_on_append():
+    """getvalue() twice in a row (the GIOP framer's pattern) returns
+    the identical object; appending afterwards invalidates the cache."""
+    encoder = CdrEncoder()
+    encoder.write_string("hello")
+    first = encoder.getvalue()
+    assert encoder.getvalue() is first
+    encoder.write_ulong(7)
+    second = encoder.getvalue()
+    assert second is not first
+    assert second.startswith(first)
+    decoder = CdrDecoder(second)
+    assert decoder.read_string() == "hello"
+    assert decoder.read_ulong() == 7
+
+
+def test_getvalue_cache_preserves_length_accounting():
+    encoder = CdrEncoder()
+    encoder.write_ulong(1)
+    assert len(encoder.getvalue()) == len(encoder) == 4
+    encoder.write_double(2.5)  # 8-aligned: pads to 8 then writes 8
+    assert len(encoder.getvalue()) == len(encoder) == 16
