@@ -1,0 +1,207 @@
+"""S10 — Quorum writes under partitions: availability, fencing, cost.
+
+Three scenarios per replica factor (3 and 5), swept over the chaos
+seeds {7, 23, 1999}:
+
+* **healthy** — no partition: every maintenance write commits on a
+  majority at the deployment lease's fence.
+* **minority cut** — the lease holder plus any minority is severed
+  from the rest.  Writes must stay fully available (completeness
+  1.00): the facade waits out the old lease and fails over to a
+  majority-side primary at a higher fence.  The wait is the p99 story
+  — failover costs about one lease TTL, once.
+* **majority cut** — the facade's side of the partition holds fewer
+  than a quorum.  Every write must be *refused* (availability 0.00,
+  by design): committing on a minority is exactly the split-brain the
+  protocol exists to prevent.
+
+In the partitioned scenarios the deposed primary also replays a write
+under its stale lease (the dual-primary probe); any such write that
+commits anywhere counts as a **split-brain commit** and the accepted
+number is zero, across every seed.
+
+Results persist to ``BENCH_quorum.json`` (the acceptance artefact of
+the quorum work; see docs/quorum.md), including a journal group-commit
+appendix: fsync counts and wall time per sync policy for an identical
+append workload.
+"""
+
+import json
+import tempfile
+import time
+from pathlib import Path
+
+from repro.apps.healthcare import build_healthcare_system
+from repro.apps.healthcare import topology as topo
+from repro.bench import print_table
+from repro.core.journal import JournalEntry, ReplicaJournal
+from repro.core.quorum import PrimaryLease, majority
+from repro.errors import QuorumError
+from repro.orb.faults import FaultyTransport
+from repro.orb.transport import InMemoryNetwork
+
+SEEDS = (7, 23, 1999)
+REPLICA_FACTORS = (3, 5)
+SCENARIOS = ("healthy", "minority cut", "majority cut")
+TARGET = topo.RBH
+LEASE = 0.05
+WRITES = {"healthy": 30, "minority cut": 30, "majority cut": 8}
+SYNC_APPENDS = 200
+
+
+def _build(seed, replicas):
+    faulty = FaultyTransport(InMemoryNetwork(), seed=seed)
+    deployment = build_healthcare_system(
+        transport=faulty, replication_factor=replicas, quorum=True,
+        lease_duration=LEASE)
+    return faulty, deployment
+
+
+def _partition(faulty, deployment, replicas, strand_majority):
+    """Sever the holder's side of the set; returns the minority size."""
+    endpoints = [deployment.codatabase_replica_endpoint(TARGET, index)
+                 for index in range(replicas)]
+    minority = replicas - majority(replicas)
+    faulty.partition(set(endpoints[:minority]), set(endpoints[minority:]))
+    if strand_majority:
+        # The facade shares the primary's side of the cut: the majority
+        # is unreachable, not merely partitioned among themselves.
+        facade = deployment.system._facade(TARGET)
+        for index in range(minority, replicas):
+            facade.mark_dead(index)
+    return minority
+
+
+def _dual_primary_probe(facade, stale):
+    """Replay a write under the deposed lease; count any commit."""
+    epochs = [runtime.epoch for runtime in facade.runtimes]
+    skewed = PrimaryLease(index=stale.index, fence=stale.fence,
+                          expires_at=time.monotonic() + 60.0,
+                          grants=stale.grants)
+    try:
+        facade.write_as(skewed, "attach_document", TARGET, "text",
+                        "split-brain probe", "")
+        committed = 1
+    except QuorumError:
+        committed = 1 if [r.epoch for r in facade.runtimes] != epochs else 0
+    for runtime in facade.runtimes:
+        if any(doc["content"] == "split-brain probe"
+               for doc in runtime.codatabase.documents_of(TARGET)):
+            committed = 1
+    return committed
+
+
+def _run_point(replicas, scenario):
+    latencies, ok, attempts, split_brain = [], 0, 0, 0
+    elections = aborted = fenced = 0
+    for seed in SEEDS:
+        faulty, deployment = _build(seed, replicas)
+        system = deployment.system
+        facade = system._facade(TARGET)
+        stale = facade._lease
+        if scenario != "healthy":
+            _partition(faulty, deployment, replicas,
+                       strand_majority=(scenario == "majority cut"))
+        for index in range(WRITES[scenario]):
+            attempts += 1
+            started = time.perf_counter()
+            try:
+                system.attach_document(TARGET, "text",
+                                       f"s10 {scenario} {seed} {index}")
+                ok += 1
+            except QuorumError:
+                pass
+            latencies.append(time.perf_counter() - started)
+        if scenario != "healthy":
+            split_brain += _dual_primary_probe(facade, stale)
+        status = facade.lease_status()
+        elections += status["elections"]
+        aborted += status["aborted_writes"]
+        fenced += status["fenced_writes"]
+    return {
+        "replicas": replicas,
+        "scenario": scenario,
+        "write_availability": round(ok / attempts, 3),
+        "p50_ms": round(_percentile(latencies, 0.50) * 1e3, 3),
+        "p99_ms": round(_percentile(latencies, 0.99) * 1e3, 3),
+        "elections": elections,
+        "aborted_writes": aborted,
+        "fenced_writes": fenced,
+        "split_brain_commits": split_brain,
+    }
+
+
+def _percentile(samples, fraction):
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1,
+                       round(fraction * (len(ordered) - 1)))]
+
+
+def _sync_policy_sweep():
+    """Group commit appendix: disk barriers per policy, same workload."""
+    rows = []
+    for sync in ("never", "batch", "always"):
+        with tempfile.TemporaryDirectory() as root:
+            journal = ReplicaJournal(f"{root}/journal.wal", sync=sync,
+                                     group_size=8)
+            started = time.perf_counter()
+            for epoch in range(1, SYNC_APPENDS + 1):
+                journal.append(JournalEntry(
+                    epoch=epoch, operation="attach_document",
+                    arguments=("s", "text", "x" * 64, ""), fence=1))
+            journal.close()
+            elapsed = time.perf_counter() - started
+            rows.append({"sync": sync, "appends": SYNC_APPENDS,
+                         "fsyncs": journal.fsyncs,
+                         "wall_ms": round(elapsed * 1e3, 2)})
+    return rows
+
+
+def test_s10_quorum(benchmark):
+    points = [_run_point(replicas, scenario)
+              for replicas in REPLICA_FACTORS for scenario in SCENARIOS]
+    sync_rows = _sync_policy_sweep()
+
+    print_table(
+        f"S10: quorum write availability and latency under partitions "
+        f"(lease {LEASE * 1e3:.0f} ms, seeds {list(SEEDS)})",
+        ["replicas", "scenario", "availability", "p50 ms", "p99 ms",
+         "split-brain"],
+        [[p["replicas"], p["scenario"], f"{p['write_availability']:.2f}",
+          f"{p['p50_ms']:.2f}", f"{p['p99_ms']:.2f}",
+          p["split_brain_commits"]] for p in points])
+    print_table(
+        f"S10 appendix: journal group commit ({SYNC_APPENDS} appends, "
+        f"group of 8)",
+        ["sync", "fsyncs", "wall ms"],
+        [[r["sync"], r["fsyncs"], f"{r['wall_ms']:.1f}"] for r in sync_rows])
+
+    by_key = {(p["replicas"], p["scenario"]): p for p in points}
+    for replicas in REPLICA_FACTORS:
+        # Healthy and minority-cut writes are fully available ...
+        assert by_key[(replicas, "healthy")]["write_availability"] == 1.0
+        assert by_key[(replicas, "minority cut")]["write_availability"] == 1.0
+        # ... majority-cut writes are refused outright, never diverging.
+        assert by_key[(replicas, "majority cut")]["write_availability"] == 0.0
+        # Failover pays about one lease TTL, visible at the tail.
+        assert by_key[(replicas, "minority cut")]["p99_ms"] \
+            > by_key[(replicas, "healthy")]["p99_ms"]
+    # The protocol's reason to exist: zero split-brain commits anywhere.
+    assert all(p["split_brain_commits"] == 0 for p in points)
+    # Group commit batches barriers: never < batch < always.
+    fsyncs = {r["sync"]: r["fsyncs"] for r in sync_rows}
+    assert fsyncs["never"] <= 1  # only the close-time drain, if any
+    assert 0 < fsyncs["batch"] < fsyncs["always"] == SYNC_APPENDS
+
+    out = {
+        "benchmark": "S10 quorum: write availability under partitions",
+        "topology": {"target": TARGET, "seeds": list(SEEDS),
+                     "lease_ms": LEASE * 1e3, "writes": WRITES,
+                     "replica_factors": list(REPLICA_FACTORS)},
+        "points": points,
+        "sync_policies": sync_rows,
+    }
+    path = Path(__file__).resolve().parents[1] / "BENCH_quorum.json"
+    path.write_text(json.dumps(out, indent=2) + "\n")
+
+    benchmark(lambda: len(points))

@@ -89,8 +89,13 @@ def build_healthcare_system(
         replication_factor: int = 1,
         durable_dir: Optional[str] = None,
         snapshot_every: Optional[int] = None,
+        quorum: bool = False,
+        journal_sync: str = "never",
+        lease_duration: Optional[float] = None,
         metadata_cache=None) -> HealthcareDeployment:
     """Deploy the full healthcare federation and return its handle."""
+    extra = {} if lease_duration is None \
+        else {"lease_duration": lease_duration}
     system = WebFinditSystem(transport=transport,
                              ontology=topo.healthcare_ontology(),
                              metadata_cache=metadata_cache,
@@ -100,7 +105,10 @@ def build_healthcare_system(
                              isolate_sources=isolate_sources,
                              replication_factor=replication_factor,
                              durable_dir=durable_dir,
-                             snapshot_every=snapshot_every)
+                             snapshot_every=snapshot_every,
+                             quorum=quorum,
+                             journal_sync=journal_sync,
+                             **extra)
     relational: dict[str, Database] = {}
     objects: dict[str, ObjectDatabase] = {}
     relational_exports = schemas.relational_exports()

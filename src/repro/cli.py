@@ -20,7 +20,8 @@ The shell accepts WebTassili statements plus a few meta-commands:
     state, and journal lag
 ``\\replicas [source]``
     replica availability of one source (or all): epoch, lag, journal
-    length, restarts, durability
+    length, restarts, durability; with ``--quorum`` also the lease
+    holder, its fence epoch, and each replica's promised fence
 ``\\home <database>``
     switch the session to another participating database
 ``\\help`` / ``\\quit``
@@ -29,7 +30,10 @@ The shell accepts WebTassili statements plus a few meta-commands:
 queries that run out of budget report the part of the information
 space they could not explore instead of silently returning less.
 ``--replicas N`` deploys N co-database replica servants per source
-(see ``docs/availability.md``).
+(see ``docs/availability.md``).  ``--quorum`` turns the implicit
+primary into majority-quorum writes under lease-fenced election, and
+``--sync {never,batch,always}`` picks the journal's group-commit fsync
+policy with ``--durable-dir`` (see ``docs/quorum.md``).
 """
 
 from __future__ import annotations
@@ -161,21 +165,33 @@ class Shell:
         return True
 
     def _print_replicas(self, status: dict) -> None:
-        """One line per replica: epoch, breaker, journal lag."""
+        """One line per replica: epoch, breaker, journal lag —
+        plus the lease holder and fence epoch in quorum mode."""
         for name in sorted(status):
             entry = status[name]
-            self._print(f"  {name} (epoch {entry['epoch']}):")
+            lease = entry.get("lease")
+            if lease is not None:
+                holder = lease["holder"] or "(none)"
+                self._print(
+                    f"  {name} (epoch {entry['epoch']}, quorum "
+                    f"{lease['majority']}/{len(entry['replicas'])}, "
+                    f"lease {holder} @ fence {lease['fence']}):")
+            else:
+                self._print(f"  {name} (epoch {entry['epoch']}):")
             for replica in entry["replicas"]:
                 state = "up" if replica["alive"] else "DOWN"
                 breaker = replica.get("breaker", "closed")
                 durable = ", durable" if replica["durable"] else ""
+                fence = ""
+                if lease is not None:
+                    fence = f", promised fence {replica['promised_fence']}"
                 self._print(
                     f"    {replica['name']}: {state}, "
                     f"epoch {replica['epoch']} (lag {replica['lag']}), "
                     f"breaker {breaker}, "
                     f"journal {replica['journal_entries']} entr"
                     f"{'y' if replica['journal_entries'] == 1 else 'ies'}, "
-                    f"{replica['restarts']} restart(s){durable}")
+                    f"{replica['restarts']} restart(s){fence}{durable}")
 
     def run(self, input_stream: Optional[IO[str]] = None,
             interactive: bool = True) -> None:
@@ -234,6 +250,13 @@ def main(argv: Optional[list[str]] = None,
                         help="directory for on-disk replica journals and "
                              "snapshots (enables crash recovery across "
                              "runs)")
+    parser.add_argument("--quorum", action="store_true",
+                        help="majority-quorum writes under lease-fenced "
+                             "primary election (see docs/quorum.md)")
+    parser.add_argument("--sync", default="never",
+                        choices=["never", "batch", "always"],
+                        help="journal group-commit fsync policy with "
+                             "--durable-dir (default: never)")
     options = parser.parse_args(argv)
 
     transport = None
@@ -259,7 +282,9 @@ def main(argv: Optional[list[str]] = None,
     deployment = build_healthcare_system(transport=transport,
                                          resilience=resilience,
                                          replication_factor=options.replicas,
-                                         durable_dir=options.durable_dir)
+                                         durable_dir=options.durable_dir,
+                                         quorum=options.quorum,
+                                         journal_sync=options.sync)
     shell = Shell(deployment, options.home, output=output)
     try:
         if options.statement:

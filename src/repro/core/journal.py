@@ -2,26 +2,52 @@
 
 Every maintenance write the registry applies to a co-database replica
 is first appended to that replica's journal as a :class:`JournalEntry`
-— the operation name, its wire-encoded arguments, and the monotonic
-epoch the write produces.  A replica that crashes therefore owns, on
-disk (or in memory for ephemeral deployments), exactly the prefix of
+— the operation name, its wire-encoded arguments, the monotonic epoch
+the write produces, and (under quorum replication) the **fence** of the
+primary lease that issued it.  A replica that crashes therefore owns,
+on disk (or in memory for ephemeral deployments), exactly the prefix of
 writes it had applied; :func:`replay_entries` rebuilds the co-database
 from a snapshot plus that prefix, and the replica's epoch tells the
 replication layer whether it still needs anti-entropy catch-up from a
 live peer (see :mod:`repro.core.replication`).
 
-The journal format is JSON-lines: one entry per line, append-only,
-fsync-free (the reproduction models crash recovery semantics, not disk
-guarantees).  Snapshots reuse the export format of
-:mod:`repro.core.snapshot` (``webfindit-codatabase/1``) and truncate
-the journal they cover.
+Two on-disk formats are supported:
+
+* **v2** (default for new files) — a binary log: an 8-byte magic
+  header (``WFJRNL2\\n``) followed by length-prefixed records::
+
+      [u32 length][u32 CRC32(payload)][payload: compact JSON, UTF-8]
+
+  Replay verifies every record's length and checksum and halts at the
+  first record that fails either — a **torn write** (crash mid-append)
+  — recovering exactly the longest valid prefix and truncating the
+  file back to it so later appends start from a clean tail.
+* **jsonl** (legacy) — one JSON object per line, as written by earlier
+  releases.  Replay is equally torn-tolerant: a line that no longer
+  parses halts the replay at that record with a counted warning
+  instead of raising a raw ``json.JSONDecodeError``.
+
+Durability is governed by the ``sync=`` knob: ``"never"`` flushes to
+the OS only (the pre-quorum behaviour), ``"always"`` fsyncs every
+append, and ``"batch"`` implements **group commit** — appends are
+fsynced once per *group_size* records (or on :meth:`sync_now`),
+amortising the disk barrier across a burst of writes.
+
+Snapshots reuse the export format of :mod:`repro.core.snapshot`
+(``webfindit-codatabase/1``) and truncate the journal they cover.  All
+rewrites (snapshot installs, compensating :meth:`discard`) go through a
+temp file + ``os.replace`` so a crash mid-rewrite can never destroy the
+log: either the old file or the new one survives, both complete.
 """
 
 from __future__ import annotations
 
 import json
+import logging
 import os
+import struct
 import threading
+import zlib
 from dataclasses import dataclass
 from typing import Any, Optional
 
@@ -29,6 +55,8 @@ from repro.core.coalition import Coalition
 from repro.core.model import SourceDescription
 from repro.core.service_link import ServiceLink
 from repro.errors import WebFinditError
+
+log = logging.getLogger("repro.journal")
 
 #: Maintenance operations a journal may carry — exactly the mutator
 #: surface of :class:`~repro.core.codatabase.CoDatabase`.
@@ -38,23 +66,42 @@ JOURNALED_OPERATIONS = frozenset({
     "add_service_link", "remove_service_link", "attach_document",
 })
 
+#: File magic of the checksummed v2 journal format.
+JOURNAL_MAGIC = b"WFJRNL2\n"
+
+#: ``[u32 payload length][u32 CRC32]`` — big-endian, 8 bytes.
+_RECORD_HEADER = struct.Struct(">II")
+
+#: Journal formats :class:`ReplicaJournal` can write.
+JOURNAL_FORMATS = ("v2", "jsonl")
+
+#: Durability policies for file-backed journals.
+SYNC_POLICIES = ("never", "batch", "always")
+
 
 @dataclass(frozen=True)
 class JournalEntry:
-    """One logged maintenance write, wire-encoded and epoch-stamped."""
+    """One logged maintenance write, wire-encoded and epoch-stamped.
+
+    *fence* is the fencing epoch of the primary lease that issued the
+    write (0 for non-quorum deployments): replicas refuse to journal an
+    entry whose fence is older than the newest lease they promised.
+    """
 
     epoch: int
     operation: str
     arguments: tuple
+    fence: int = 0
 
     def to_wire(self) -> dict[str, Any]:
         return {"epoch": self.epoch, "op": self.operation,
-                "args": list(self.arguments)}
+                "args": list(self.arguments), "fence": self.fence}
 
     @classmethod
     def from_wire(cls, payload: dict[str, Any]) -> "JournalEntry":
         return cls(epoch=int(payload["epoch"]), operation=payload["op"],
-                   arguments=tuple(payload.get("args", ())))
+                   arguments=tuple(payload.get("args", ())),
+                   fence=int(payload.get("fence", 0)))
 
 
 def encode_operation(operation: str, args: tuple) -> tuple:
@@ -106,22 +153,104 @@ def replay_entries(codatabase, entries) -> int:
     return applied
 
 
+def encode_record(entry: JournalEntry) -> bytes:
+    """One v2 record: length + CRC32 header, compact-JSON payload."""
+    payload = json.dumps(entry.to_wire(),
+                         separators=(",", ":")).encode("utf-8")
+    return _RECORD_HEADER.pack(len(payload),
+                               zlib.crc32(payload) & 0xFFFFFFFF) + payload
+
+
+def decode_records(data: bytes) -> tuple[list[JournalEntry], int, bool]:
+    """Decode a v2 journal body (magic already consumed).
+
+    Returns ``(entries, valid_bytes, torn)``: the longest valid record
+    prefix, how many bytes of *data* it covers, and whether a torn or
+    corrupt record was detected after it.
+    """
+    entries: list[JournalEntry] = []
+    position = 0
+    while True:
+        if position == len(data):
+            return entries, position, False
+        if position + _RECORD_HEADER.size > len(data):
+            return entries, position, True  # torn header
+        length, crc = _RECORD_HEADER.unpack_from(data, position)
+        body_start = position + _RECORD_HEADER.size
+        if body_start + length > len(data):
+            return entries, position, True  # torn payload
+        payload = data[body_start:body_start + length]
+        if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+            return entries, position, True  # corrupt payload
+        try:
+            entries.append(JournalEntry.from_wire(json.loads(payload)))
+        except (ValueError, KeyError, TypeError):
+            return entries, position, True  # checksummed garbage
+        position = body_start + length
+
+
+def decode_jsonl(data: bytes) -> tuple[list[JournalEntry], int, bool]:
+    """Decode a legacy JSON-lines journal, torn-tolerantly.
+
+    Same contract as :func:`decode_records`.  A record whose trailing
+    newline was lost to the crash but whose JSON is complete still
+    counts as valid (its bytes are part of the recovered prefix).
+    """
+    entries: list[JournalEntry] = []
+    position = 0
+    for raw_line in data.split(b"\n"):
+        line = raw_line.strip()
+        if line:
+            try:
+                entries.append(JournalEntry.from_wire(
+                    json.loads(line.decode("utf-8"))))
+            except (ValueError, KeyError, TypeError, UnicodeDecodeError):
+                return entries, position, True  # torn / corrupt record
+        position += len(raw_line) + 1
+        if position > len(data):  # last line had no trailing newline
+            position = len(data)
+    return entries, position, False
+
+
 class ReplicaJournal:
     """The write-ahead log of one co-database replica.
 
-    In-memory always; file-backed when *path* is given (JSON lines,
-    appended before the write is applied — the WAL ordering).  A
-    snapshot covers every entry up to its epoch, so taking one
-    truncates the journal; :attr:`snapshot` holds the latest snapshot
-    payload (and its file, when durable).
+    In-memory always; file-backed when *path* is given (appended before
+    the write is applied — the WAL ordering).  A snapshot covers every
+    entry up to its epoch, so taking one truncates the journal;
+    :attr:`snapshot` holds the latest snapshot payload (and its file,
+    when durable).
+
+    *fmt* selects the on-disk format for **new** files ("v2" binary
+    checksummed records, or legacy "jsonl"); an existing file keeps the
+    format it was written in, sniffed from its first bytes.  *sync*
+    and *group_size* implement the durability policy described in the
+    module docstring.  :attr:`torn_records` counts crash-truncated
+    tails detected (and repaired) on load; :attr:`fsyncs` counts disk
+    barriers actually issued — the currency of the group-commit bench.
     """
 
-    def __init__(self, path: Optional[str] = None):
+    def __init__(self, path: Optional[str] = None, fmt: str = "v2",
+                 sync: str = "never", group_size: int = 8):
+        if fmt not in JOURNAL_FORMATS:
+            raise WebFinditError(f"unknown journal format {fmt!r}")
+        if sync not in SYNC_POLICIES:
+            raise WebFinditError(f"unknown journal sync policy {sync!r}")
         self.path = path
+        self.fmt = fmt
+        self.sync = sync
+        self.group_size = max(1, group_size)
         self._entries: list[JournalEntry] = []
-        self._lock = threading.Lock()
+        self._lock = threading.RLock()
+        self._handle = None
+        self._pending_sync = 0
         #: Latest snapshot payload (``webfindit-codatabase/1``), if any.
         self.snapshot: Optional[dict[str, Any]] = None
+        #: Torn-write events detected on load (the tail was truncated
+        #: back to the longest valid prefix).
+        self.torn_records = 0
+        #: Disk barriers issued (``os.fsync``), for group-commit tests.
+        self.fsyncs = 0
         if path is not None:
             os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
             self._load_files()
@@ -139,10 +268,115 @@ class ReplicaJournal:
         if snapshot_path and os.path.exists(snapshot_path):
             with open(snapshot_path, encoding="utf-8") as handle:
                 self.snapshot = json.load(handle)
-        if self.path and os.path.exists(self.path):
-            with open(self.path, encoding="utf-8") as handle:
-                self._entries = [JournalEntry.from_wire(json.loads(line))
-                                 for line in handle if line.strip()]
+        if not (self.path and os.path.exists(self.path)):
+            return
+        with open(self.path, "rb") as handle:
+            data = handle.read()
+        if not data:
+            return
+        if data.startswith(JOURNAL_MAGIC):
+            self.fmt = "v2"
+            body = data[len(JOURNAL_MAGIC):]
+            self._entries, valid, torn = decode_records(body)
+            valid += len(JOURNAL_MAGIC)
+        elif len(data) < len(JOURNAL_MAGIC) \
+                and JOURNAL_MAGIC.startswith(data):
+            # Crash while writing the magic itself: an empty journal.
+            self._entries, valid, torn = [], 0, True
+            self.fmt = "v2"
+        else:
+            self.fmt = "jsonl"
+            self._entries, valid, torn = decode_jsonl(data)
+            if not torn and not data.endswith(b"\n"):
+                # The final record is complete but its newline was lost
+                # (crash between the bytes and the separator): restore
+                # it so the next append starts its own line.
+                with open(self.path, "ab") as handle:
+                    handle.write(b"\n")
+        if torn:
+            self.torn_records += 1
+            log.warning(
+                "journal %s: torn record after %d valid entr%s "
+                "(%d trailing byte(s) dropped); replay halted at the "
+                "longest valid prefix", self.path, len(self._entries),
+                "y" if len(self._entries) == 1 else "ies",
+                len(data) - valid)
+            # Repair the tail so later appends start from a clean
+            # record boundary instead of extending the torn bytes.
+            with open(self.path, "r+b") as handle:
+                handle.truncate(valid)
+                handle.flush()
+                os.fsync(handle.fileno())
+                self.fsyncs += 1
+
+    def _open_handle(self):
+        if self._handle is None:
+            fresh = not os.path.exists(self.path) \
+                or os.path.getsize(self.path) == 0
+            self._handle = open(self.path, "ab")
+            if fresh and self.fmt == "v2":
+                self._handle.write(JOURNAL_MAGIC)
+        return self._handle
+
+    def _write_record(self, entry: JournalEntry) -> None:
+        handle = self._open_handle()
+        if self.fmt == "v2":
+            handle.write(encode_record(entry))
+        else:
+            handle.write((json.dumps(entry.to_wire()) + "\n")
+                         .encode("utf-8"))
+        # Data always reaches the OS (a crashed *process* loses
+        # nothing); the fsync policy decides when it reaches the disk.
+        handle.flush()
+        if self.sync == "always":
+            os.fsync(handle.fileno())
+            self.fsyncs += 1
+        elif self.sync == "batch":
+            self._pending_sync += 1
+            if self._pending_sync >= self.group_size:
+                os.fsync(handle.fileno())
+                self.fsyncs += 1
+                self._pending_sync = 0
+
+    def sync_now(self) -> None:
+        """Force the group-commit barrier: fsync any pending appends."""
+        with self._lock:
+            if self._handle is not None and self._pending_sync:
+                self._handle.flush()
+                os.fsync(self._handle.fileno())
+                self.fsyncs += 1
+                self._pending_sync = 0
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self.sync_now()
+                self._handle.close()
+                self._handle = None
+
+    def _rewrite(self) -> None:
+        """Crash-atomically replace the journal file with the current
+        in-memory entries (temp file + ``os.replace``): a crash
+        mid-rewrite leaves either the complete old log or the complete
+        new one, never a half-written file."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+            self._pending_sync = 0
+        temp_path = self.path + ".tmp"
+        with open(temp_path, "wb") as handle:
+            if self.fmt == "v2":
+                handle.write(JOURNAL_MAGIC)
+                for entry in self._entries:
+                    handle.write(encode_record(entry))
+            else:
+                for entry in self._entries:
+                    handle.write((json.dumps(entry.to_wire()) + "\n")
+                                 .encode("utf-8"))
+            handle.flush()
+            os.fsync(handle.fileno())
+            self.fsyncs += 1
+        os.replace(temp_path, self.path)
 
     # ------------------------------------------------------------- the log --
 
@@ -150,8 +384,7 @@ class ReplicaJournal:
         with self._lock:
             self._entries.append(entry)
             if self.path is not None:
-                with open(self.path, "a", encoding="utf-8") as handle:
-                    handle.write(json.dumps(entry.to_wire()) + "\n")
+                self._write_record(entry)
 
     def entries(self) -> list[JournalEntry]:
         with self._lock:
@@ -175,17 +408,21 @@ class ReplicaJournal:
                 return int(self.snapshot.get("epoch", 0))
             return 0
 
+    @property
+    def last_fence(self) -> int:
+        """Highest fencing epoch recorded anywhere in this journal."""
+        with self._lock:
+            return max((entry.fence for entry in self._entries), default=0)
+
     def discard(self, epoch: int) -> None:
         """Drop entries at exactly *epoch* — the compensation when a
-        journaled write then fails application-level validation (the
-        replication layer rolls the epoch back with it)."""
+        journaled write then fails validation or loses its quorum (the
+        replication layer rolls the version back with it)."""
         with self._lock:
             self._entries = [entry for entry in self._entries
                              if entry.epoch != epoch]
             if self.path is not None:
-                with open(self.path, "w", encoding="utf-8") as handle:
-                    for entry in self._entries:
-                        handle.write(json.dumps(entry.to_wire()) + "\n")
+                self._rewrite()
 
     # ----------------------------------------------------------- snapshots --
 
@@ -198,9 +435,10 @@ class ReplicaJournal:
             self._entries = [entry for entry in self._entries
                              if entry.epoch > epoch]
             if self.path is not None:
-                with open(self.snapshot_path, "w",
-                          encoding="utf-8") as handle:
+                temp_path = self.snapshot_path + ".tmp"
+                with open(temp_path, "w", encoding="utf-8") as handle:
                     json.dump(payload, handle, indent=2)
-                with open(self.path, "w", encoding="utf-8") as handle:
-                    for entry in self._entries:
-                        handle.write(json.dumps(entry.to_wire()) + "\n")
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                os.replace(temp_path, self.snapshot_path)
+                self._rewrite()

@@ -144,6 +144,22 @@ class Registry:
         return {name: getattr(codatabase, "epoch", 0)
                 for name, codatabase in self._codatabases.items()}
 
+    def leases(self) -> dict[str, dict]:
+        """Per-co-database lease/fence view (quorum-replicated sets only).
+
+        Sources whose co-database is a plain (or non-quorum) facade are
+        omitted — they have no election state to report.
+        """
+        leases: dict[str, dict] = {}
+        for name, codatabase in self._codatabases.items():
+            status = getattr(codatabase, "lease_status", None)
+            if status is None:
+                continue
+            snapshot = status()
+            if snapshot.get("quorum"):
+                leases[name] = snapshot
+        return leases
+
     def remove_source(self, name: str) -> None:
         """Unregister a source, leaving all its coalitions first."""
         self.source(name)

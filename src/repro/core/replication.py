@@ -33,21 +33,33 @@ the client-side resilience of :mod:`repro.core.resilience` can only
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 from repro.core.codatabase import CoDatabase
 from repro.core.discovery import CoDatabaseClient
-from repro.core.journal import (JournalEntry, ReplicaJournal,
+from repro.core.journal import (JournalEntry, ReplicaJournal, apply_entry,
                                 encode_operation, replay_entries)
 from repro.core.metacache import CACHEABLE_OPERATIONS, MetadataCache
 from repro.core.model import Ontology
+from repro.core.quorum import LeaseState, PrimaryLease, majority
 from repro.core.resilience import FAILURE_ERRORS, HealthBoard, call_policy
 from repro.core.snapshot import export_codatabase, import_codatabase
-from repro.errors import CommFailure, WebFinditError
+from repro.errors import (CommFailure, ElectionLost, FencedOut, LeaseExpired,
+                          QuorumLost, WebFinditError)
 
 #: Default replication factor: primary only (no behaviour change).
 DEFAULT_REPLICAS = 1
+
+#: Default primary-lease duration (seconds); see docs/quorum.md.
+DEFAULT_LEASE_DURATION = 30.0
+
+#: Connectivity oracle between two replica endpoints: ``link(a, b)`` is
+#: True when messages flow.  ``None`` means fully connected.  A
+#: :class:`~repro.orb.faults.FaultyTransport` provides one via
+#: :meth:`~repro.orb.faults.FaultyTransport.link_oracle`.
+LinkOracle = Callable[[tuple, tuple], bool]
 
 
 def replica_binding(source_name: str, index: int) -> str:
@@ -69,6 +81,11 @@ class ReplicaRuntime:
     orb: Any = None
     ior: Any = None
     servant: Any = None
+    #: (host, port) this replica answers on — what partition rules key
+    #: on.  Synthetic until the system layer deploys a real server.
+    endpoint: Optional[tuple] = None
+    #: Replica-side lease memory: the newest fence promised, to whom.
+    lease: LeaseState = field(default_factory=LeaseState)
 
     @property
     def name(self) -> str:
@@ -82,10 +99,25 @@ class ReplicaRuntime:
 class ReplicatedCoDatabase:
     """N replica co-databases behind one registry-facing facade.
 
-    Mutators journal (WAL) and fan out to every **live** replica;
-    reads delegate to the first live replica.  The facade's
-    :attr:`epoch` counts logical maintenance writes — each live replica
-    that applied the full prefix carries the same number.
+    Mutators journal (WAL) and fan out; reads delegate to the primary.
+    The facade's :attr:`epoch` counts logical maintenance writes — each
+    replica that applied the full prefix carries the same number.
+
+    Two write disciplines:
+
+    * **fan-out** (``quorum=False``, the PR 3 behaviour): every *live*
+      replica journals and applies each write; the facade is the
+      implicit, unchallenged primary.
+    * **quorum** (``quorum=True``): writes require a
+      :class:`~repro.core.quorum.PrimaryLease` won by majority
+      election and commit only when a **majority of the configured
+      replica set** journals them; every replica refuses appends
+      fenced below its promised lease.  A partitioned old primary can
+      therefore never commit once a newer lease exists, and writes
+      stay available as long as some candidate reaches a majority
+      (the facade fails over its own lease automatically).  *link*
+      is the connectivity oracle partitions act through;  *clock* is
+      injectable for deterministic lease-expiry tests.
     """
 
     def __init__(self, owner_name: str, ontology: Optional[Ontology] = None,
@@ -93,7 +125,12 @@ class ReplicatedCoDatabase:
                  replicas: int = DEFAULT_REPLICAS,
                  journal_factory: Optional[
                      Callable[[str, int], ReplicaJournal]] = None,
-                 snapshot_every: Optional[int] = None):
+                 snapshot_every: Optional[int] = None,
+                 quorum: bool = False,
+                 lease_duration: float = DEFAULT_LEASE_DURATION,
+                 clock: Callable[[], float] = time.monotonic,
+                 sleep: Callable[[float], None] = time.sleep,
+                 link: Optional[LinkOracle] = None):
         if replicas < 1:
             raise WebFinditError("a co-database needs at least one replica")
         self.owner_name = owner_name
@@ -102,7 +139,19 @@ class ReplicatedCoDatabase:
         #: Logical maintenance-write version of the whole set.
         self.epoch = 0
         self.snapshot_every = snapshot_every
+        self._quorum = quorum
+        self.lease_duration = lease_duration
+        self._clock = clock
+        self._sleep = sleep
+        self._link = link
+        #: The facade's own primary lease (quorum mode; lazily elected).
+        self._lease: Optional[PrimaryLease] = None
+        #: Election / write-outcome accounting for status and benches.
+        self.elections = 0
+        self.aborted_writes = 0
+        self.fenced_writes = 0
         self._lock = threading.RLock()
+        slug = owner_name.lower().replace(" ", "-")
         self.runtimes: list[ReplicaRuntime] = []
         for index in range(replicas):
             journal = journal_factory(owner_name, index) \
@@ -116,8 +165,14 @@ class ReplicatedCoDatabase:
             else:
                 codatabase = CoDatabase(owner_name, ontology=ontology,
                                         product=product)
-            self.runtimes.append(ReplicaRuntime(
-                index=index, codatabase=codatabase, journal=journal))
+            runtime = ReplicaRuntime(
+                index=index, codatabase=codatabase, journal=journal,
+                endpoint=(f"{slug}-r{index}.webfindit.net", 0))
+            # Fencing promises are leases — volatile — but a restarted
+            # process must not elect below a fence it already committed
+            # under: seed the promise from the journaled high-water.
+            runtime.lease.promised_fence = journal.last_fence
+            self.runtimes.append(runtime)
         # The facade resumes from the most advanced replica; the others
         # (shorter journals after an unclean stop, or fresh replicas
         # when the factor was raised) catch up by anti-entropy.
@@ -138,7 +193,12 @@ class ReplicatedCoDatabase:
 
     @property
     def primary(self) -> CoDatabase:
-        """The first live replica's co-database (reads go here)."""
+        """The primary's co-database (reads go here): the current lease
+        holder under quorum, else the first live replica."""
+        lease = self._lease
+        if self._quorum and lease is not None \
+                and self.runtimes[lease.index].alive:
+            return self.runtimes[lease.index].codatabase
         for runtime in self.runtimes:
             if runtime.alive:
                 return runtime.codatabase
@@ -157,9 +217,139 @@ class ReplicatedCoDatabase:
                 f"co-database of {self.owner_name!r} has no replica "
                 f"r{index}") from None
 
+    # ------------------------------------------------------------ elections --
+
+    def _connected(self, source: Optional[tuple],
+                   destination: Optional[tuple]) -> bool:
+        """Can a message travel *source* → *destination* right now?"""
+        if self._link is None or source is None or destination is None:
+            return True
+        return bool(self._link(source, destination))
+
+    def elect(self, candidate_index: Optional[int] = None) -> PrimaryLease:
+        """Run a lease election and adopt the winner as the facade's
+        primary.
+
+        With *candidate_index* the named replica stands alone (chaos
+        scripts use this to stage dual-primary contests); otherwise
+        live replicas stand in index order until one collects a
+        majority of grants.  The winning fence is one past the newest
+        promise the candidate could observe, so it supersedes every
+        lease a majority knows about.  Raises
+        :class:`~repro.errors.ElectionLost` when no candidate reaches
+        a quorum of the **configured** replica set.
+        """
+        with self._lock:
+            if candidate_index is not None:
+                return self._elect(self.runtime(candidate_index))
+            last_error: Optional[ElectionLost] = None
+            for runtime in self.runtimes:
+                if not runtime.alive:
+                    continue
+                try:
+                    return self._elect(runtime)
+                except ElectionLost as exc:
+                    last_error = exc
+            if last_error is not None:
+                raise last_error
+            raise ElectionLost(
+                f"no live replica of the co-database of "
+                f"{self.owner_name!r} can stand for election")
+
+    def _elect(self, candidate: ReplicaRuntime) -> PrimaryLease:
+        if not candidate.alive:
+            raise ElectionLost(
+                f"candidate r{candidate.index} of {self.owner_name!r} "
+                f"is dead")
+        now = self._clock()
+        reachable = [runtime for runtime in self.runtimes
+                     if runtime.alive
+                     and (runtime.index == candidate.index
+                          or self._connected(candidate.endpoint,
+                                             runtime.endpoint))]
+        fence = max((runtime.lease.promised_fence
+                     for runtime in reachable), default=0) + 1
+        grants = frozenset(
+            runtime.index for runtime in reachable
+            if runtime.lease.grant(candidate.index, fence, now,
+                                   self.lease_duration))
+        needed = majority(len(self.runtimes))
+        if len(grants) < needed:
+            raise ElectionLost(
+                f"candidate r{candidate.index} of {self.owner_name!r} "
+                f"won {len(grants)} of {len(self.runtimes)} lease "
+                f"grants at fence {fence} (quorum {needed})")
+        self.elections += 1
+        lease = PrimaryLease(index=candidate.index, fence=fence,
+                             expires_at=now + self.lease_duration,
+                             grants=grants)
+        self._lease = lease
+        return lease
+
+    def _ensure_lease(self) -> PrimaryLease:
+        """The facade's current lease, re-electing when it lapsed or
+        its holder died."""
+        lease = self._lease
+        if lease is not None and lease.valid(self._clock()) \
+                and self.runtimes[lease.index].alive:
+            return lease
+        return self.elect()
+
     # ------------------------------------------------------------- mutators --
 
     def _write(self, operation: str, *args: Any) -> None:
+        """One registry-issued maintenance write, under the configured
+        discipline: quorum (with automatic primary failover) or the
+        legacy all-live fan-out."""
+        if not self._quorum:
+            self._fanout_write(operation, *args)
+            return
+        with self._lock:
+            try:
+                lease = self._ensure_lease()
+                self._quorum_write(lease, operation, *args)
+                return
+            except (QuorumLost, FencedOut, LeaseExpired, ElectionLost):
+                # The facade's primary lost its majority — partitioned
+                # away, deposed, or its lease lapsed mid-write.  Fail
+                # over: elect whichever replica can still win a quorum
+                # and reissue (the aborted attempt journaled nothing
+                # durably, so the retry cannot double-commit).
+                pass
+            lease = self._await_election()
+            self._quorum_write(lease, operation, *args)
+
+    def _await_election(self) -> PrimaryLease:
+        """Elect a new primary, waiting out unexpired grants.
+
+        A partitioned primary's lease blocks re-election on purpose —
+        that is the mutual exclusion leases buy — so failover may have
+        to wait until a majority's promises lapse.  Bounded by one
+        lease duration (plus a margin); an election that still cannot
+        win then has no majority anywhere, and the
+        :class:`~repro.errors.ElectionLost` propagates.
+        """
+        pause = max(0.001, self.lease_duration / 20.0)
+        deadline = self._clock() + self.lease_duration \
+            + max(0.01, self.lease_duration / 2.0)
+        while True:
+            try:
+                return self.elect()
+            except ElectionLost:
+                if self._clock() >= deadline:
+                    raise
+                self._sleep(pause)
+
+    def write_as(self, lease: PrimaryLease, operation: str,
+                 *args: Any) -> None:
+        """Issue one write under an **explicit** lease, with no
+        failover: the quorum/fencing verdict surfaces to the caller.
+        This is the dual-primary instrument — chaos tests hold a
+        deposed primary's lease and prove its writes can never commit.
+        """
+        self._quorum_write(lease, operation, *args)
+
+    def _fanout_write(self, operation: str, *args: Any) -> None:
         """WAL + fan-out: journal first, then apply, on each live
         replica, all carrying the same post-write epoch.
 
@@ -204,6 +394,95 @@ class ReplicatedCoDatabase:
                     continue
                 applied = True
                 if self.snapshot_every \
+                        and len(runtime.journal) >= self.snapshot_every:
+                    runtime.journal.install_snapshot(
+                        export_codatabase(runtime.codatabase))
+
+    def _quorum_write(self, lease: PrimaryLease, operation: str,
+                      *args: Any) -> None:
+        """Majority-quorum write under *lease*.
+
+        Two phases, WAL-ordered: (1) the entry — stamped with the
+        lease's fence — is offered to every replica the primary can
+        reach; each replica refuses stamps below its promised fence
+        and journals the rest.  (2) Only when a **majority of the
+        configured set** journaled does the write commit (apply +
+        epoch bump); otherwise every journaled copy is discarded and
+        the write raises — :class:`~repro.errors.FencedOut` when a
+        newer promise caused the shortfall (the primary is deposed),
+        :class:`~repro.errors.QuorumLost` when the replicas simply
+        were not there.  An aborted write consumes no epoch, so a
+        fenced old primary leaves no trace a replay could resurrect.
+        """
+        with self._lock:
+            now = self._clock()
+            if not lease.valid(now):
+                raise LeaseExpired(
+                    f"lease of r{lease.index} over the co-database of "
+                    f"{self.owner_name!r} (fence {lease.fence}) expired "
+                    f"before write {operation!r}")
+            primary = self.runtime(lease.index)
+            if not primary.alive:
+                raise QuorumLost(
+                    f"primary r{lease.index} of {self.owner_name!r} is "
+                    f"dead; write {operation!r} refused")
+            epoch = self.epoch + 1
+            entry = JournalEntry(epoch=epoch, operation=operation,
+                                 arguments=encode_operation(operation, args),
+                                 fence=lease.fence)
+            acked: list[ReplicaRuntime] = []
+            fenced = 0
+            for runtime in self.runtimes:
+                if not runtime.alive:
+                    continue
+                if runtime.index != primary.index \
+                        and not self._connected(primary.endpoint,
+                                                runtime.endpoint):
+                    continue  # partitioned away: never sees the offer
+                if not runtime.lease.admits(lease.fence):
+                    fenced += 1
+                    continue  # replica-side fencing: stale stamp refused
+                try:
+                    runtime.journal.append(entry)
+                except Exception:
+                    runtime.alive = False  # journal IO fault: quarantine
+                    continue
+                acked.append(runtime)
+            needed = majority(len(self.runtimes))
+            if len(acked) < needed:
+                for runtime in acked:
+                    runtime.journal.discard(epoch)
+                self.aborted_writes += 1
+                if fenced:
+                    self.fenced_writes += 1
+                    raise FencedOut(
+                        f"write {operation!r} by r{lease.index} of "
+                        f"{self.owner_name!r} carries stale fence "
+                        f"{lease.fence}: a newer lease has been promised")
+                raise QuorumLost(
+                    f"write {operation!r} on the co-database of "
+                    f"{self.owner_name!r} reached {len(acked)} of "
+                    f"{len(self.runtimes)} replicas (quorum {needed})")
+            # Quorum journaled: commit.  Validation failures are
+            # deterministic over the shared prefix, so probing the
+            # first replica decides for all — a refusal compensates
+            # every journaled copy before the error propagates.
+            try:
+                getattr(acked[0].codatabase, operation)(*args)
+            except Exception:
+                for runtime in acked:
+                    runtime.journal.discard(epoch)
+                raise
+            for runtime in acked[1:]:
+                try:
+                    getattr(runtime.codatabase, operation)(*args)
+                except Exception:
+                    runtime.journal.discard(epoch)
+                    runtime.alive = False  # quarantine for anti-entropy
+            self.epoch = epoch
+            lease.commits += 1
+            for runtime in acked:
+                if runtime.alive and self.snapshot_every \
                         and len(runtime.journal) >= self.snapshot_every:
                     runtime.journal.install_snapshot(
                         export_codatabase(runtime.codatabase))
@@ -281,6 +560,38 @@ class ReplicatedCoDatabase:
             runtime.alive = False
             return runtime
 
+    def reconcile(self) -> int:
+        """Anti-entropy sweep over **live** laggards.
+
+        A partitioned replica is not dead — it kept its servant and
+        its journal, it just missed the quorum writes committed on the
+        other side.  Once the partition heals, this replays the missing
+        suffix from the most advanced live replica into each laggard,
+        journaling as it goes (so durability follows).  A gap the
+        leader's journal no longer covers (snapshot-truncated) marks
+        the laggard dead for the full :meth:`recover` path instead.
+        Returns how many replicas caught up in place.
+        """
+        with self._lock:
+            live = self.live_runtimes()
+            if not live:
+                return 0
+            leader = max(live, key=lambda runtime: runtime.epoch)
+            healed = 0
+            for runtime in live:
+                if runtime is leader or runtime.epoch >= leader.epoch:
+                    continue
+                missing = leader.journal.entries_after(runtime.epoch)
+                expected = list(range(runtime.epoch + 1, leader.epoch + 1))
+                if [entry.epoch for entry in missing] != expected:
+                    runtime.alive = False  # needs snapshot recovery
+                    continue
+                for entry in missing:
+                    runtime.journal.append(entry)
+                    apply_entry(runtime.codatabase, entry)
+                healed += 1
+            return healed
+
     def recover(self, index: int) -> ReplicaRuntime:
         """Crash-recover replica *index*: snapshot + journal replay,
         then anti-entropy from a live peer when the set moved on.
@@ -312,6 +623,29 @@ class ReplicatedCoDatabase:
 
     # --------------------------------------------------------------- status --
 
+    def lease_status(self) -> dict[str, Any]:
+        """The election-side view: fence, holder, expiry, outcomes."""
+        with self._lock:
+            now = self._clock()
+            lease = self._lease
+            holder = None
+            if lease is not None and lease.valid(now) \
+                    and self.runtimes[lease.index].alive:
+                holder = f"r{lease.index}"
+            fence = lease.fence if lease is not None else max(
+                runtime.lease.promised_fence for runtime in self.runtimes)
+            return {
+                "quorum": self._quorum,
+                "majority": majority(len(self.runtimes)),
+                "fence": fence,
+                "holder": holder,
+                "expires_in": (round(max(0.0, lease.expires_at - now), 3)
+                               if lease is not None else 0.0),
+                "elections": self.elections,
+                "aborted_writes": self.aborted_writes,
+                "fenced_writes": self.fenced_writes,
+            }
+
     def status(self, health: Optional[HealthBoard] = None) -> dict[str, Any]:
         """Per-replica view for ``\\replicas`` / ``\\health``."""
         replicas = []
@@ -324,13 +658,17 @@ class ReplicatedCoDatabase:
                 "journal_entries": len(runtime.journal),
                 "restarts": runtime.restarts,
                 "durable": runtime.journal.path is not None,
+                "promised_fence": runtime.lease.promised_fence,
             }
             if health is not None:
                 entry["breaker"] = health.state(
                     replica_key(self.owner_name, runtime.index))
             replicas.append(entry)
-        return {"owner": self.owner_name, "epoch": self.epoch,
-                "replicas": replicas}
+        status = {"owner": self.owner_name, "epoch": self.epoch,
+                  "replicas": replicas}
+        if self._quorum:
+            status["lease"] = self.lease_status()
+        return status
 
 
 def replica_key(source_name: str, index: int) -> str:

@@ -36,7 +36,8 @@ from repro.core.metacache import CachingCoDatabaseClient, MetadataCache
 from repro.core.model import Ontology, SourceDescription
 from repro.core.query_processor import QueryProcessor, Session
 from repro.core.registry import Registry
-from repro.core.replication import (FailoverCoDatabaseClient,
+from repro.core.replication import (DEFAULT_LEASE_DURATION,
+                                    FailoverCoDatabaseClient,
                                     ReplicatedCoDatabase, ReplicaTarget,
                                     replica_binding, replica_key)
 from repro.core.resilience import ResiliencePolicy
@@ -81,7 +82,10 @@ class WebFinditSystem:
                  isolate_sources: bool = False,
                  replication_factor: int = 1,
                  durable_dir: Optional[str] = None,
-                 snapshot_every: Optional[int] = None):
+                 snapshot_every: Optional[int] = None,
+                 quorum: bool = False,
+                 journal_sync: str = "never",
+                 lease_duration: float = DEFAULT_LEASE_DURATION):
         self.transport = transport if transport is not None \
             else InMemoryNetwork()
         self.ontology = ontology
@@ -102,6 +106,12 @@ class WebFinditSystem:
         self.replication_factor = max(1, replication_factor)
         self.durable_dir = durable_dir
         self.snapshot_every = snapshot_every
+        #: Consistency knobs: majority-quorum writes under lease-fenced
+        #: primary election (see ``docs/quorum.md``), and the journal's
+        #: group-commit fsync policy ("never" | "batch" | "always").
+        self.quorum = quorum
+        self.journal_sync = journal_sync
+        self.lease_duration = lease_duration
         self._replicated: dict[str, ReplicatedCoDatabase] = {}
         #: Generation-checked proxy cache: naming binding -> (proxy,
         #: generation).  Shared by every failover client so one
@@ -109,7 +119,8 @@ class WebFinditSystem:
         self._replica_proxies: dict[str, tuple] = {}
         replicate = (self.replication_factor > 1
                      or durable_dir is not None
-                     or snapshot_every is not None)
+                     or snapshot_every is not None
+                     or quorum)
         self.registry = Registry(
             ontology=ontology,
             codatabase_factory=(self._replicated_codatabase
@@ -229,17 +240,31 @@ class WebFinditSystem:
         journal_factory = None
         if self.durable_dir is not None:
             root = self.durable_dir
+            sync = self.journal_sync
 
             def journal_factory(owner: str, index: int) -> ReplicaJournal:
                 slug = owner.lower().replace(" ", "-").replace("/", "-")
-                return ReplicaJournal(os.path.join(
-                    root, slug, f"r{index}", "journal.jsonl"))
+                directory = os.path.join(root, slug, f"r{index}")
+                # Pre-v2 deployments journalled to journal.jsonl; keep
+                # appending to an existing file (the journal sniffs its
+                # format), new replicas get the checksummed v2 log.
+                legacy = os.path.join(directory, "journal.jsonl")
+                path = legacy if os.path.exists(legacy) \
+                    else os.path.join(directory, "journal.wal")
+                return ReplicaJournal(path, sync=sync)
 
+        # A partition scripted on the transport also cuts replica↔
+        # replica links for quorum accounting, via the fault DSL's
+        # link oracle (plain transports have none: all links up).
+        oracle = getattr(self.transport, "link_oracle", None)
         facade = ReplicatedCoDatabase(
             name, ontology=self.ontology,
             replicas=self.replication_factor,
             journal_factory=journal_factory,
-            snapshot_every=self.snapshot_every)
+            snapshot_every=self.snapshot_every,
+            quorum=self.quorum,
+            lease_duration=self.lease_duration,
+            link=oracle() if callable(oracle) else None)
         self._replicated[name] = facade
         return facade
 
@@ -257,6 +282,9 @@ class WebFinditSystem:
             ior = orb.activate(servant, CODATABASE_INTERFACE,
                                object_name=f"codb-{name}-r{runtime.index}")
             runtime.orb, runtime.ior, runtime.servant = orb, ior, servant
+            # Quorum link checks and partition rules key on the real
+            # transport endpoint, not the pre-deployment placeholder.
+            runtime.endpoint = ior.primary.endpoint
             self.naming.bind(replica_binding(name, runtime.index), ior)
         return facade.runtimes[0].ior
 
@@ -370,6 +398,7 @@ class WebFinditSystem:
         ior = orb.activate(servant, CODATABASE_INTERFACE,
                            object_name=f"codb-{source_name}-r{index}")
         runtime.orb, runtime.ior, runtime.servant = orb, ior, servant
+        runtime.endpoint = ior.primary.endpoint
         binding = replica_binding(source_name, index)
         self.naming.rebind(binding, ior)
         self._replica_proxies.pop(binding, None)
@@ -393,6 +422,18 @@ class WebFinditSystem:
             return self._facade(source_name).status(health=health)
         return {name: facade.status(health=health)
                 for name, facade in sorted(self._replicated.items())}
+
+    def reconcile_replicas(self, source_name: Optional[str] = None) -> int:
+        """Anti-entropy pass: replay live laggards up to the leader.
+
+        Chaos scenarios call this after healing a partition — the
+        minority side missed quorum commits while cut off and catches
+        up from the leader's journal.  Returns replicas healed.
+        """
+        if source_name is not None:
+            return self._facade(source_name).reconcile()
+        return sum(facade.reconcile()
+                   for facade in self._replicated.values())
 
     # ----------------------------------------------------------------- access --
 
@@ -548,7 +589,7 @@ class WebFinditSystem:
             return None
         runtimes = [runtime for facade in self._replicated.values()
                     for runtime in facade.runtimes]
-        return {
+        metrics = {
             "sources": len(self._replicated),
             "replicas": len(runtimes),
             "alive": sum(1 for runtime in runtimes if runtime.alive),
@@ -556,6 +597,13 @@ class WebFinditSystem:
             "epochs": {name: facade.epoch
                        for name, facade in sorted(self._replicated.items())},
         }
+        if self.quorum:
+            metrics["quorum"] = {
+                name: facade.lease_status()
+                for name, facade in sorted(self._replicated.items())}
+            metrics["journal_fsyncs"] = sum(
+                getattr(runtime.journal, "fsyncs", 0) for runtime in runtimes)
+        return metrics
 
     def reset_metrics(self) -> None:
         """Zero all counters (benchmarks call this between phases)."""

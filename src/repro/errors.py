@@ -92,6 +92,32 @@ class ObjectNotExist(OrbError):
     """The object reference does not designate a live servant."""
 
 
+class QuorumError(CommFailure):
+    """Base class for quorum-replication failures.
+
+    Derives from :class:`CommFailure` so the resilience layer treats a
+    lost quorum exactly like any other transport-level outage: callers
+    that survive partitions by retrying elsewhere keep working.
+    """
+
+
+class QuorumLost(QuorumError):
+    """Fewer than a majority of replicas acknowledged the write."""
+
+
+class FencedOut(QuorumError):
+    """The write carried a stale fencing epoch: a majority of replicas
+    promised a newer lease, so the issuing primary has been deposed."""
+
+
+class ElectionLost(QuorumError):
+    """The candidate could not collect a majority of lease grants."""
+
+
+class LeaseExpired(QuorumError):
+    """The primary's lease lapsed before the write could be issued."""
+
+
 class BadOperation(OrbError):
     """The operation is not part of the target interface."""
 

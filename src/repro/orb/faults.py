@@ -16,7 +16,21 @@ The injection DSL is a set of chainable rule builders::
     faulty.drop_replies(other, rate=0.3)         # 30% reply loss
     faulty.delay(ANY, latency=0.002, jitter=0.001)  # WAN everywhere
     faulty.slow_then_die(flaky, calls=5, latency=0.05)
+    faulty.partition({a}, {b, c})                # network split
     faulty.heal(endpoint)                        # site comes back
+
+A :func:`FaultyTransport.partition` severs **both directions** between
+two endpoint groups: ``send`` to a severed destination raises
+:class:`~repro.errors.CommFailure` when the in-process caller (the
+:data:`CLIENT` sentinel) sits on the other side of the cut, and
+:meth:`FaultyTransport.severed` answers link-liveness queries between
+arbitrary endpoints — the replication layer consults it (via
+:meth:`FaultyTransport.link_oracle`) before counting a replica toward
+a write quorum or a lease majority.  Partition rules compose with the
+same ``after=`` / ``until=`` windows as every other fault: for sends
+the window is the destination's per-endpoint call index, for oracle
+queries it is a per-link check counter, so "the split heals after N
+probes" is scriptable.
 
 Rules keyed by the :data:`ANY` wildcard apply to every endpoint; rules
 fire in the order they were added.  ``after=`` / ``until=`` bound a
@@ -48,7 +62,7 @@ from __future__ import annotations
 import random
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.deadline import current_policy
@@ -58,9 +72,15 @@ from repro.orb.transport import Endpoint, Handler, Transport
 #: Wildcard endpoint: the rule applies to every destination.
 ANY: Endpoint = ("*", 0)
 
+#: The in-process caller's side of the network.  Put :data:`CLIENT` in
+#: one group of a :func:`FaultyTransport.partition` to sever the
+#: client's own sends to the other group, not just replica↔replica
+#: links.
+CLIENT: Endpoint = ("client", 0)
+
 #: Fault kinds, in the order they act on a request's life cycle.
 KINDS = ("delay", "refuse", "drop_request", "drop_reply",
-         "truncate_reply", "corrupt_reply")
+         "truncate_reply", "corrupt_reply", "partition")
 
 
 @dataclass
@@ -82,6 +102,48 @@ class FaultRule:
         return self.until is None or call_index < self.until
 
 
+@dataclass
+class PartitionRule:
+    """A bidirectional cut between two endpoint groups.
+
+    Unlike a :class:`FaultRule`, a partition is a property of a *link*,
+    not of one destination: it fires for any (src, dst) pair with one
+    end in each group, in either direction.  ``after`` / ``until``
+    bound the cut to a window of indices **counted from the moment the
+    partition was scripted** — the destination's call index for
+    ``send``, a per-link check counter for :meth:`FaultyTransport.
+    severed` queries.  (Counters the workload already advanced before
+    the cut existed are baselined away via *calls_base* /
+    *links_base*, so ``until=4`` always means "the next 4".)
+    """
+
+    group_a: frozenset[Endpoint]
+    group_b: frozenset[Endpoint]
+    after: int = 0
+    until: Optional[int] = None
+    #: Per-endpoint send counts at creation (window zero points).
+    calls_base: dict = field(default_factory=dict)
+    #: Per-link check counts at creation (window zero points).
+    links_base: dict = field(default_factory=dict)
+
+    def active_for(self, index: int) -> bool:
+        if index < self.after:
+            return False
+        return self.until is None or index < self.until
+
+    def crosses(self, a: Endpoint, b: Endpoint) -> bool:
+        return ((a in self.group_a and b in self.group_b)
+                or (a in self.group_b and b in self.group_a))
+
+
+def _as_group(spec) -> frozenset:
+    """Accept a single endpoint or any iterable of endpoints."""
+    if isinstance(spec, tuple) and len(spec) == 2 \
+            and isinstance(spec[0], str):
+        return frozenset((spec,))
+    return frozenset(spec)
+
+
 class FaultyTransport(Transport):
     """A transport wrapper that injects scripted failures on ``send``.
 
@@ -97,7 +159,9 @@ class FaultyTransport(Transport):
         self.seed = seed
         self._rng = random.Random(seed)
         self._rules: dict[Endpoint, list[FaultRule]] = {}
+        self._partitions: list[PartitionRule] = []
         self._calls: dict[Endpoint, int] = {}
+        self._link_checks: dict[frozenset, int] = {}
         self._lock = threading.RLock()
         #: Count of faults actually fired, by kind.
         self.injected: dict[str, int] = {kind: 0 for kind in KINDS}
@@ -165,14 +229,80 @@ class FaultyTransport(Transport):
         self.delay(endpoint, latency=latency, until=calls)
         return self.refuse(endpoint, after=calls)
 
+    def partition(self, group_a, group_b, after: int = 0,
+                  until: Optional[int] = None) -> "FaultyTransport":
+        """Sever both directions between two endpoint groups.
+
+        Each argument is one endpoint or an iterable of endpoints; put
+        :data:`CLIENT` in a group to cut the in-process caller's own
+        sends too.  The ``after`` / ``until`` window counts the
+        destination's calls (for sends) and each link's checks (for
+        :meth:`severed` queries) **from this moment**, so ``until=N``
+        severs the next N probes of a link regardless of earlier
+        traffic.
+        """
+        with self._lock:
+            rule = PartitionRule(_as_group(group_a), _as_group(group_b),
+                                 after=after, until=until,
+                                 calls_base=dict(self._calls),
+                                 links_base=dict(self._link_checks))
+            self._partitions.append(rule)
+        return self
+
     def heal(self, endpoint: Optional[Endpoint] = None) -> "FaultyTransport":
-        """Drop every rule for *endpoint* (or all rules when None)."""
+        """Drop every rule for *endpoint* (or all rules when None).
+
+        Healing an endpoint also lifts any partition naming it; healing
+        everything clears all partitions.
+        """
         with self._lock:
             if endpoint is None:
                 self._rules.clear()
+                self._partitions.clear()
             else:
                 self._rules.pop(endpoint, None)
+                self._partitions = [
+                    rule for rule in self._partitions
+                    if endpoint not in rule.group_a
+                    and endpoint not in rule.group_b]
         return self
+
+    # ---------------------------------------------------------- partitions --
+
+    def severed(self, src: Endpoint, dst: Endpoint) -> bool:
+        """Is the *src* ↔ *dst* link currently cut by a partition?
+
+        Each query advances the link's check counter, so ``after`` /
+        ``until`` windows on partition rules meter out in probes —
+        "severed for the first N quorum checks" is scriptable.
+        """
+        with self._lock:
+            key = frozenset((src, dst))
+            index = self._link_checks.get(key, 0)
+            self._link_checks[key] = index + 1
+            blocked = any(
+                rule.crosses(src, dst) and rule.active_for(
+                    index - rule.links_base.get(key, 0))
+                for rule in self._partitions)
+        if blocked:
+            self._count("partition", dst)
+        return blocked
+
+    def link_oracle(self):
+        """Connectivity callback for the replication layer: truthy when
+        the link is up (the inverse of :meth:`severed`)."""
+        return lambda a, b: not self.severed(a, b)
+
+    def _client_severed(self, endpoint: Endpoint, call_index: int) -> bool:
+        """Partition check on the send path (the :data:`CLIENT` side)."""
+        with self._lock:
+            blocked = any(
+                rule.crosses(CLIENT, endpoint) and rule.active_for(
+                    call_index - rule.calls_base.get(endpoint, 0))
+                for rule in self._partitions)
+        if blocked:
+            self._count("partition", endpoint)
+        return blocked
 
     # ------------------------------------------------------------ transport --
 
@@ -184,6 +314,10 @@ class FaultyTransport(Transport):
 
     def send(self, endpoint: Endpoint, data: bytes) -> bytes:
         rules, call_index = self._fired_rules(endpoint)
+        if self._client_severed(endpoint, call_index):
+            raise CommFailure(
+                f"injected fault: partition severs the link to "
+                f"{endpoint!r} (call #{call_index})")
         reply_faults: list[FaultRule] = []
         for rule in rules:
             if rule.kind == "delay":
