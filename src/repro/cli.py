@@ -238,6 +238,21 @@ def main(argv: Optional[list[str]] = None,
                         help="with --tcp --transport-loop: max bytes one "
                              "flush coalesces into a single send "
                              "(default 65536)")
+    parser.add_argument("--accept-backlog", type=int, default=None,
+                        help="with --tcp: listen(2) backlog per endpoint "
+                             "(default: 64 threaded, 512 event loop)")
+    parser.add_argument("--loop-workers", type=int, default=6,
+                        help="with --tcp --transport-loop: servant "
+                             "dispatch threads shared by all endpoints "
+                             "(default 6)")
+    parser.add_argument("--connection-workers", type=int, default=None,
+                        help="with --tcp --stripes: dispatch threads per "
+                             "pipelined connection (default: tracks "
+                             "--pipeline-depth)")
+    parser.add_argument("--shedding", action="store_true",
+                        help="with --tcp: deadline-aware admission "
+                             "control and load shedding on every "
+                             "endpoint (see docs/overload.md)")
     parser.add_argument("--deadline", type=float, default=None,
                         help="total time budget (seconds) for each "
                              "discovery; partial coverage is reported")
@@ -261,20 +276,24 @@ def main(argv: Optional[list[str]] = None,
 
     transport = None
     if options.tcp:
+        from repro.orb.overload import OverloadPolicy
         from repro.orb.transport import TcpTransport
+        overload = OverloadPolicy(shed=True) if options.shedding else None
+        tcp_kwargs = dict(pipeline_depth=options.pipeline_depth,
+                          loop=options.transport_loop or None,
+                          loop_workers=options.loop_workers,
+                          batch_flush=options.batch_flush,
+                          accept_backlog=options.accept_backlog,
+                          connection_workers=options.connection_workers,
+                          overload=overload)
         if options.stripes is not None:
             transport = TcpTransport(pipelined=True,
                                      stripes=options.stripes,
-                                     pipeline_depth=options.pipeline_depth,
-                                     loop=options.transport_loop or None,
-                                     batch_flush=options.batch_flush)
+                                     **tcp_kwargs)
         else:
             # No explicit striping: let the transport watch demand and
             # promote busy endpoints to pipelining on its own.
-            transport = TcpTransport(pipelined="auto",
-                                     pipeline_depth=options.pipeline_depth,
-                                     loop=options.transport_loop or None,
-                                     batch_flush=options.batch_flush)
+            transport = TcpTransport(pipelined="auto", **tcp_kwargs)
     resilience = None
     if options.deadline is not None:
         from repro.core.resilience import ResiliencePolicy

@@ -553,29 +553,38 @@ class DiscoveryEngine:
                 # Resolution is the connection step (naming lookup plus
                 # proxy setup), so transient failures here retry too.
                 client = self._guarded(
-                    lambda: self._resolve(database_name), deadline)
+                    lambda: self._resolve(database_name), deadline,
+                    key=database_name)
             except ReproError as exc:
                 outcome.error = exc
                 return outcome
             outcome.client = client
             try:
                 outcome.matches = self._guarded(
-                    lambda: client.find_coalitions(query), deadline)
-                outcome.links = self._guarded(client.service_links, deadline)
+                    lambda: client.find_coalitions(query), deadline,
+                    key=database_name)
+                outcome.links = self._guarded(client.service_links, deadline,
+                                              key=database_name)
                 if depth == 0:
                     outcome.neighbors = self._guarded(
-                        client.neighbor_databases, deadline)
+                        client.neighbor_databases, deadline,
+                        key=database_name)
             except ReproError as exc:
                 outcome.error = exc
         return outcome
 
     def _guarded(self, fn: Callable[[], Any],
-                 deadline: Optional[Deadline]) -> Any:
-        """One metadata read, retried per the engine policy (if any)."""
+                 deadline: Optional[Deadline],
+                 key: Optional[str] = None) -> Any:
+        """One metadata read, retried per the engine policy (if any).
+
+        *key* names the consulted source so a retry budget on the
+        policy meters retries per source, not one global pool.
+        """
         if self._policy is None:
             return fn()
         return self._policy.retry.call(fn, idempotent=True,
-                                       deadline=deadline)
+                                       deadline=deadline, key=key)
 
     def _merge(self, outcome: _Consultation, query: str, path: list[str],
                leads: list[CoalitionLead], seen: set[str],

@@ -44,7 +44,8 @@ from repro.core.journal import (JournalEntry, ReplicaJournal, apply_entry,
 from repro.core.metacache import CACHEABLE_OPERATIONS, MetadataCache
 from repro.core.model import Ontology
 from repro.core.quorum import LeaseState, PrimaryLease, majority
-from repro.core.resilience import FAILURE_ERRORS, HealthBoard, call_policy
+from repro.core.resilience import (FAILURE_ERRORS, HealthBoard, HedgePolicy,
+                                   call_policy, current_policy)
 from repro.core.snapshot import export_codatabase, import_codatabase
 from repro.errors import (CommFailure, ElectionLost, FencedOut, LeaseExpired,
                           QuorumLost, WebFinditError)
@@ -709,13 +710,20 @@ class FailoverCoDatabaseClient(CoDatabaseClient):
 
     def __init__(self, name: str, targets: list[ReplicaTarget],
                  health: HealthBoard,
-                 cache: Optional[MetadataCache] = None):
+                 cache: Optional[MetadataCache] = None,
+                 hedge: Optional[HedgePolicy] = None):
         if not targets:
             raise WebFinditError(f"no replicas known for {name!r}")
         super().__init__(targets[0].proxy(), name)
         self._targets = targets
         self._health = health
         self._cache = cache
+        #: Hedged reads: with a policy attached and >= 2 healthy
+        #: replicas, a primary slower than the rolling p99 gets a
+        #: second copy fired at a sibling, first success wins.  Safe
+        #: because every co-database operation routed here is an
+        #: idempotent metadata read.
+        self._hedge = hedge
         #: Epoch of the replica currently serving this client (learned
         #: lazily, refreshed after every failover).
         self._serving_epoch: Optional[int] = None
@@ -748,10 +756,31 @@ class FailoverCoDatabaseClient(CoDatabaseClient):
         start = self._serving_index if self._serving_index \
             < len(self._targets) else 0
         order = [*range(start, len(self._targets)), *range(0, start)]
-        for position, index in enumerate(order):
+        allowed = [index for index in order
+                   if self._health.allow(self._targets[index].key)]
+        remaining = allowed
+        # The epoch probe is fired from the failover bookkeeping itself;
+        # hedging it could bounce the serving index between two replicas
+        # (each win re-probing the other), so it always runs sequential.
+        if self._hedge is not None and len(allowed) >= 2 \
+                and operation != "epoch":
+            try:
+                value, winner = self._hedged_pair(
+                    allowed[0], allowed[1], operation, *args)
+            except FAILURE_ERRORS as exc:
+                last_error = exc
+                remaining = allowed[2:]
+            else:
+                if winner is not None:
+                    if winner != self._serving_index:
+                        self._failed_over(self._targets[winner], winner)
+                    return value
+                # Primary failed fast, before the hedge delay elapsed:
+                # nothing was hedged, fall through to plain sequential
+                # failover over the rest of the ring.
+                remaining = allowed[1:]
+        for index in remaining:
             target = self._targets[index]
-            if not self._health.allow(target.key):
-                continue
             try:
                 value = self._invoke_target(target, operation, *args)
             except FAILURE_ERRORS as exc:
@@ -759,7 +788,7 @@ class FailoverCoDatabaseClient(CoDatabaseClient):
                 last_error = exc
                 continue
             self._health.record(target.key, ok=True)
-            if position > 0 or index != self._serving_index:
+            if index != self._serving_index:
                 self._failed_over(target, index)
             return value
         if last_error is not None:
@@ -767,6 +796,72 @@ class FailoverCoDatabaseClient(CoDatabaseClient):
         raise CommFailure(
             f"all {len(self._targets)} replicas of the co-database of "
             f"{self.name!r} have open circuits")
+
+    def _hedged_pair(self, primary_index: int, backup_index: int,
+                     operation: str, *args: Any) -> tuple[Any, Optional[int]]:
+        """Attempt ``primary_index``; hedge to ``backup_index`` at p99.
+
+        Returns ``(value, winner_index)`` when either attempt succeeds,
+        ``(None, None)`` when the primary failed *before* the hedge
+        delay elapsed (the caller should continue plain failover from
+        the backup onwards — no hedge fired, nothing to account), and
+        raises the last failure when both attempts lose.
+        """
+        assert self._hedge is not None
+        hedge = self._hedge
+        primary = self._targets[primary_index]
+        policy = current_policy()
+        done = threading.Event()
+        outcome: dict[str, Any] = {}
+
+        def run_primary() -> None:
+            # Thread-locals do not cross threads: re-install the
+            # caller's policy so deadline budgets and retry budgets
+            # propagate into the hedged attempt.
+            with call_policy(deadline=policy.deadline, idempotent=True,
+                             traffic_class=policy.traffic_class,
+                             retry_budget=policy.retry_budget):
+                began = time.monotonic()
+                try:
+                    outcome["value"] = self._invoke_target(
+                        primary, operation, *args)
+                except FAILURE_ERRORS as exc:
+                    outcome["error"] = exc
+                    self._health.record(primary.key, ok=False)
+                else:
+                    hedge.observe(self.name, time.monotonic() - began)
+                    self._health.record(primary.key, ok=True)
+                finally:
+                    done.set()
+
+        worker = threading.Thread(target=run_primary, daemon=True,
+                                  name=f"hedge-primary-{self.name}")
+        worker.start()
+        if done.wait(hedge.hedge_delay(self.name)):
+            if "value" in outcome:
+                return outcome["value"], primary_index
+            # Fast failure: signal the caller to keep failing over
+            # sequentially — hedging is for *slow* primaries.
+            return None, None
+        # The primary is slower than the rolling p99: fire the hedge
+        # against the backup inline.  First success wins; the loser is
+        # simply discarded (all routed operations are idempotent reads).
+        backup = self._targets[backup_index]
+        began = time.monotonic()
+        try:
+            value = self._invoke_target(backup, operation, *args)
+        except FAILURE_ERRORS as exc:
+            self._health.record(backup.key, ok=False)
+            done.wait()
+            if "value" in outcome:
+                hedge.record_hedge(won=False)
+                return outcome["value"], primary_index
+            hedge.record_hedge(won=False)  # fired, helped nobody
+            raise exc
+        hedge.observe(self.name, time.monotonic() - began)
+        self._health.record(backup.key, ok=True)
+        hedge.record_hedge(won=True)
+        return value, backup_index
 
     def _failed_over(self, target: ReplicaTarget, index: int) -> None:
         """Bookkeeping after routing away from the current replica."""

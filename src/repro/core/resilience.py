@@ -37,16 +37,20 @@ from __future__ import annotations
 import random
 import threading
 import time
+from collections import deque
 from typing import Callable, Optional, Union
 
-from repro.deadline import (CallPolicy, Deadline, call_policy,
-                            current_policy)
-from repro.errors import CircuitOpen, CommFailure, DeadlineExceeded
+from repro.deadline import (BACKGROUND, INTERACTIVE, CallPolicy, Deadline,
+                            RetryBudget, call_policy, current_policy)
+from repro.errors import (CircuitOpen, CommFailure, DeadlineExceeded,
+                          ServerBusy)
 
 __all__ = [
     "Deadline", "CallPolicy", "call_policy", "current_policy",
-    "RetryPolicy", "CircuitBreaker", "HealthBoard", "ResiliencePolicy",
-    "CLOSED", "OPEN", "HALF_OPEN", "FAILURE_ERRORS", "as_deadline",
+    "RetryPolicy", "RetryBudget", "HedgePolicy", "CircuitBreaker",
+    "HealthBoard", "ResiliencePolicy", "CLOSED", "OPEN", "HALF_OPEN",
+    "FAILURE_ERRORS", "as_deadline", "INTERACTIVE", "BACKGROUND",
+    "ServerBusy",
 ]
 
 #: Error classes that count as *endpoint* failures: the site is dead,
@@ -82,7 +86,8 @@ class RetryPolicy:
                  max_delay: float = 2.0, multiplier: float = 3.0,
                  seed: Optional[int] = None,
                  sleep: Callable[[float], None] = time.sleep,
-                 retryable: tuple = (CommFailure,)):
+                 retryable: tuple = (CommFailure,),
+                 budget: Optional[RetryBudget] = None):
         if max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
         self.max_attempts = max_attempts
@@ -90,11 +95,19 @@ class RetryPolicy:
         self.max_delay = max_delay
         self.multiplier = multiplier
         self.retryable = retryable
+        #: Token-bucket cap on the retry:first-attempt ratio.  None
+        #: keeps the pre-existing behaviour (attempts alone bound
+        #: retries).  With a budget, a retry additionally needs a
+        #: token — under a BUSY brownout the whole client population's
+        #: retry traffic stays a bounded fraction of offered load.
+        self.budget = budget
         self._sleep = sleep
         self._rng = random.Random(seed)
         self._lock = threading.Lock()
         #: Attempts beyond the first, across all calls (benches read it).
         self.retries = 0
+        #: Retries refused because the budget was exhausted.
+        self.budget_denials = 0
 
     def next_delay(self, previous: Optional[float] = None) -> float:
         """Decorrelated jitter: uniform over [base, previous * mult]."""
@@ -106,9 +119,16 @@ class RetryPolicy:
         return min(self.max_delay, drawn)
 
     def call(self, fn: Callable[[], object], *, idempotent: bool = False,
-             deadline: Optional[Deadline] = None) -> object:
-        """Run *fn*, retrying transient failures when allowed."""
+             deadline: Optional[Deadline] = None,
+             key: Optional[str] = None) -> object:
+        """Run *fn*, retrying transient failures when allowed.
+
+        *key* names the endpoint for retry-budget accounting (one
+        bucket per key; None shares the global bucket).
+        """
         delay: Optional[float] = None
+        if self.budget is not None:
+            self.budget.note_attempt(key)
         for attempt in range(1, self.max_attempts + 1):
             try:
                 return fn()
@@ -120,10 +140,73 @@ class RetryPolicy:
                 delay = self.next_delay(delay)
                 if deadline is not None and deadline.remaining() <= delay:
                     raise  # no budget left for backoff plus an attempt
+                if self.budget is not None \
+                        and not self.budget.try_acquire(key):
+                    with self._lock:
+                        self.budget_denials += 1
+                    raise  # the retry budget is spent: fail, don't storm
                 with self._lock:
                     self.retries += 1
                 self._sleep(delay)
         raise AssertionError("unreachable")  # pragma: no cover
+
+
+class HedgePolicy:
+    """Hedged requests for idempotent reads: fire a second copy at a
+    different replica when the first is slower than the recent p99.
+
+    The hedge delay adapts per key from a rolling window of observed
+    latencies: hedges fire only for genuinely tail-slow attempts
+    (~1% of traffic), so the added load is bounded by construction —
+    the classic tail-at-scale trade.  Until *min_samples* observations
+    exist the fixed *default_delay* applies.  Thread-safe.
+    """
+
+    def __init__(self, default_delay: float = 0.05,
+                 percentile: float = 0.99, window: int = 256,
+                 min_samples: int = 20):
+        self.default_delay = default_delay
+        self.percentile = percentile
+        self.min_samples = min_samples
+        self._window = window
+        self._samples: dict[str, deque[float]] = {}
+        self._lock = threading.Lock()
+        self.hedges_fired = 0
+        self.hedges_won = 0
+        self.hedges_lost = 0
+
+    def observe(self, key: str, seconds: float) -> None:
+        """Record one attempt's latency for *key*."""
+        with self._lock:
+            samples = self._samples.get(key)
+            if samples is None:
+                samples = self._samples[key] = deque(maxlen=self._window)
+            samples.append(seconds)
+
+    def hedge_delay(self, key: str) -> float:
+        """How long to wait on the primary before hedging."""
+        with self._lock:
+            samples = self._samples.get(key)
+            if samples is None or len(samples) < self.min_samples:
+                return self.default_delay
+            ordered = sorted(samples)
+        index = min(len(ordered) - 1,
+                    int(self.percentile * len(ordered)))
+        return ordered[index]
+
+    def record_hedge(self, won: bool) -> None:
+        with self._lock:
+            self.hedges_fired += 1
+            if won:
+                self.hedges_won += 1
+            else:
+                self.hedges_lost += 1
+
+    def snapshot(self) -> dict[str, int]:
+        with self._lock:
+            return {"hedges_fired": self.hedges_fired,
+                    "hedges_won": self.hedges_won,
+                    "hedges_lost": self.hedges_lost}
 
 
 class CircuitBreaker:
@@ -287,10 +370,14 @@ class ResiliencePolicy:
 
     def __init__(self, retry: Optional[RetryPolicy] = None,
                  health: Optional[HealthBoard] = None,
-                 default_deadline: Optional[float] = None):
+                 default_deadline: Optional[float] = None,
+                 hedge: Optional[HedgePolicy] = None):
         self.retry = retry if retry is not None else RetryPolicy()
         self.health = health if health is not None else HealthBoard()
         self.default_deadline = default_deadline
+        #: Hedged requests for idempotent replica reads; None (the
+        #: default) disables hedging.  The failover client consults it.
+        self.hedge = hedge
 
     def deadline_for(self, budget: Union[None, float, Deadline]
                      ) -> Optional[Deadline]:
@@ -304,7 +391,8 @@ class ResiliencePolicy:
 
     def call(self, fn: Callable[[], object], *, key: Optional[str] = None,
              idempotent: bool = False,
-             deadline: Union[None, float, Deadline] = None) -> object:
+             deadline: Union[None, float, Deadline] = None,
+             traffic_class: Optional[str] = None) -> object:
         """Guarded standalone call: breaker check, deadline context,
         retries, and health recording in one place."""
         deadline = self.deadline_for(deadline)
@@ -313,11 +401,16 @@ class ResiliencePolicy:
                 f"circuit open for {key!r}: repeated failures "
                 f"(state {self.health.state(key)})")
         try:
-            with call_policy(deadline=deadline, idempotent=idempotent):
+            # The retry budget rides the call context so transport-level
+            # transparent resends draw from the same cap as our own
+            # retries.
+            with call_policy(deadline=deadline, idempotent=idempotent,
+                             traffic_class=traffic_class,
+                             retry_budget=self.retry.budget):
                 if deadline is not None:
                     deadline.require(f"call to {key!r}" if key else "call")
                 result = self.retry.call(fn, idempotent=idempotent,
-                                         deadline=deadline)
+                                         deadline=deadline, key=key)
         except FAILURE_ERRORS:
             if key is not None:
                 self.health.record(key, ok=False)

@@ -40,7 +40,7 @@ from repro.core.replication import (DEFAULT_LEASE_DURATION,
                                     FailoverCoDatabaseClient,
                                     ReplicatedCoDatabase, ReplicaTarget,
                                     replica_binding, replica_key)
-from repro.core.resilience import ResiliencePolicy
+from repro.core.resilience import BACKGROUND, ResiliencePolicy, call_policy
 from repro.core.service_link import EndpointKind, ServiceLink
 from repro.errors import UnknownDatabase, WebFinditError
 from repro.gateway.api import DriverManager
@@ -430,10 +430,13 @@ class WebFinditSystem:
         minority side missed quorum commits while cut off and catches
         up from the leader's journal.  Returns replicas healed.
         """
-        if source_name is not None:
-            return self._facade(source_name).reconcile()
-        return sum(facade.reconcile()
-                   for facade in self._replicated.values())
+        # Anti-entropy is maintenance traffic: tag it background so an
+        # overloaded server sheds it long before interactive queries.
+        with call_policy(traffic_class=BACKGROUND):
+            if source_name is not None:
+                return self._facade(source_name).reconcile()
+            return sum(facade.reconcile()
+                       for facade in self._replicated.values())
 
     # ----------------------------------------------------------------- access --
 
@@ -486,7 +489,8 @@ class WebFinditSystem:
                     self._refresh_replica_proxy(binding)))
         return FailoverCoDatabaseClient(name, targets,
                                         health=self.registry.health,
-                                        cache=self.metadata_cache)
+                                        cache=self.metadata_cache,
+                                        hedge=self.resilience.hedge)
 
     def codatabase_client(self, database_name: str) -> CoDatabaseClient:
         """A CORBA-backed metadata client for one source's co-database.
@@ -581,6 +585,17 @@ class WebFinditSystem:
             "metadata_cache": (self.metadata_cache.stats()
                                if self.metadata_cache is not None else None),
             "resilience": self.resilience.health.snapshot(),
+            "overload": {
+                "requests_shed": getattr(transport_metrics,
+                                         "requests_shed", 0),
+                "requests_expired": getattr(transport_metrics,
+                                            "requests_expired", 0),
+                "retry_budget": (self.resilience.retry.budget.snapshot()
+                                 if self.resilience.retry.budget is not None
+                                 else None),
+                "hedging": (self.resilience.hedge.snapshot()
+                            if self.resilience.hedge is not None else None),
+            },
             "replication": self._replication_metrics(),
         }
 

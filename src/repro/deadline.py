@@ -76,6 +76,78 @@ class Deadline:
                f"remaining={self.remaining():.3f})"
 
 
+#: Traffic classes.  Interactive requests are user-facing queries; the
+#: background class tags maintenance traffic (anti-entropy
+#: ``reconcile_replicas``, snapshot catch-up) that an overloaded server
+#: sheds *first* so brownouts degrade housekeeping before user latency.
+INTERACTIVE = "interactive"
+BACKGROUND = "background"
+
+
+class RetryBudget:
+    """A token bucket capping the retry:first-attempt ratio per key.
+
+    Every first attempt deposits *ratio* tokens into the bucket for its
+    key (capped at *burst*); every retry withdraws one whole token.
+    Long-run, retries therefore never exceed ``ratio`` of offered load
+    no matter how many callers share the budget — the property that
+    breaks the metastable feedback loop where a saturated server's
+    refusals *create* more traffic.  Buckets start full so a cold
+    client can still recover from a transient blip.
+
+    Thread-safe; one instance is meant to be shared by every caller
+    talking to the same federation (the cap is only meaningful when it
+    is global).
+    """
+
+    def __init__(self, ratio: float = 0.1, burst: float = 10.0):
+        if ratio < 0.0:
+            raise ValueError("retry budget ratio must be >= 0")
+        if burst < 1.0:
+            raise ValueError("retry budget burst must be >= 1")
+        self.ratio = ratio
+        self.burst = burst
+        self._tokens: dict[str, float] = {}
+        self._lock = threading.Lock()
+        self.attempts = 0
+        self.granted = 0
+        self.denied = 0
+
+    def note_attempt(self, key: Optional[str] = None) -> None:
+        """Record a first attempt, refilling *key*'s bucket."""
+        key = key or "*"
+        with self._lock:
+            self.attempts += 1
+            self._tokens[key] = min(
+                self.burst, self._tokens.get(key, self.burst) + self.ratio)
+
+    def try_acquire(self, key: Optional[str] = None) -> bool:
+        """Withdraw one retry token, or report the budget exhausted."""
+        key = key or "*"
+        with self._lock:
+            tokens = self._tokens.get(key, self.burst)
+            if tokens >= 1.0:
+                self._tokens[key] = tokens - 1.0
+                self.granted += 1
+                return True
+            self.denied += 1
+            return False
+
+    def tokens(self, key: Optional[str] = None) -> float:
+        with self._lock:
+            return self._tokens.get(key or "*", self.burst)
+
+    def snapshot(self) -> dict[str, float]:
+        with self._lock:
+            return {"attempts": self.attempts, "granted": self.granted,
+                    "denied": self.denied, "ratio": self.ratio,
+                    "burst": self.burst}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"RetryBudget(ratio={self.ratio}, burst={self.burst}, "
+                f"granted={self.granted}, denied={self.denied})")
+
+
 @dataclass(frozen=True)
 class CallPolicy:
     """What the layers below may assume about the current call."""
@@ -84,9 +156,16 @@ class CallPolicy:
     #: (None: unbounded — the transport's own default timeout applies).
     deadline: Optional[Deadline] = None
     #: True when re-executing the request server-side is harmless, so a
-    #: transport may resend it after an ambiguous failure.  Defaults to
-    #: False: never duplicate work unless the caller vouches for it.
+    #: transport may transparently resend it after an ambiguous failure.
+    #: Defaults to False: never duplicate work unless the caller
+    #: vouches for it.
     idempotent: bool = False
+    #: Which shedding class the server should file this call under.
+    traffic_class: str = INTERACTIVE
+    #: Budget consulted by transport-level resends (stale pooled
+    #: connections, dead pipelined stripes) so even "transparent"
+    #: retries count against the global retry cap.  None: uncapped.
+    retry_budget: Optional[RetryBudget] = None
 
 
 _DEFAULT_POLICY = CallPolicy()
@@ -100,7 +179,10 @@ def current_policy() -> CallPolicy:
 
 @contextmanager
 def call_policy(deadline: Optional[Deadline] = None,
-                idempotent: Optional[bool] = None) -> Iterator[CallPolicy]:
+                idempotent: Optional[bool] = None,
+                traffic_class: Optional[str] = None,
+                retry_budget: Optional[RetryBudget] = None,
+                ) -> Iterator[CallPolicy]:
     """Install a call policy for the duration of the ``with`` block.
 
     Unspecified fields inherit from the enclosing context, so a client
@@ -110,7 +192,11 @@ def call_policy(deadline: Optional[Deadline] = None,
     previous = current_policy()
     merged = CallPolicy(
         deadline=deadline if deadline is not None else previous.deadline,
-        idempotent=previous.idempotent if idempotent is None else idempotent)
+        idempotent=previous.idempotent if idempotent is None else idempotent,
+        traffic_class=(previous.traffic_class if traffic_class is None
+                       else traffic_class),
+        retry_budget=(previous.retry_budget if retry_budget is None
+                      else retry_budget))
     _state.policy = merged
     try:
         yield merged

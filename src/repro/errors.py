@@ -92,6 +92,17 @@ class ObjectNotExist(OrbError):
     """The object reference does not designate a live servant."""
 
 
+class ServerBusy(CommFailure):
+    """The server refused the request under overload (GIOP ``BUSY``).
+
+    Derives from :class:`CommFailure` so failover routing and
+    idempotence-gated retries treat a shedding server like any other
+    unreachable endpoint — but retries against it are additionally
+    capped by the client's :class:`~repro.deadline.RetryBudget`, so a
+    brownout never amplifies into a retry storm.
+    """
+
+
 class QuorumError(CommFailure):
     """Base class for quorum-replication failures.
 

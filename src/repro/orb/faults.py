@@ -67,6 +67,7 @@ from typing import Optional
 
 from repro.deadline import current_policy
 from repro.errors import CommFailure, DeadlineExceeded
+from repro.orb.giop import busy_reply
 from repro.orb.transport import Endpoint, Handler, Transport
 
 #: Wildcard endpoint: the rule applies to every destination.
@@ -79,7 +80,7 @@ ANY: Endpoint = ("*", 0)
 CLIENT: Endpoint = ("client", 0)
 
 #: Fault kinds, in the order they act on a request's life cycle.
-KINDS = ("delay", "refuse", "drop_request", "drop_reply",
+KINDS = ("delay", "refuse", "busy", "drop_request", "drop_reply",
          "truncate_reply", "corrupt_reply", "partition")
 
 
@@ -182,6 +183,18 @@ class FaultyTransport(Transport):
                ) -> "FaultyTransport":
         """Connection refused (the site is down or firewalled)."""
         return self.rule(endpoint, FaultRule("refuse", rate=rate,
+                                             after=after, until=until))
+
+    def busy(self, endpoint: Endpoint = ANY, rate: float = 1.0,
+             after: int = 0, until: Optional[int] = None
+             ) -> "FaultyTransport":
+        """The server sheds the request with a ``BUSY`` reply before
+        doing any work — an overloaded admission queue, scripted.  Lets
+        retry-budget and hedging behaviour be tested without actually
+        saturating a server: the client sees exactly the synthesized
+        GIOP frame a shedding :class:`~repro.orb.transport.TcpTransport`
+        would produce."""
+        return self.rule(endpoint, FaultRule("busy", rate=rate,
                                              after=after, until=until))
 
     def drop_requests(self, endpoint: Endpoint = ANY, rate: float = 1.0,
@@ -328,6 +341,13 @@ class FaultyTransport(Transport):
                 raise CommFailure(
                     f"injected fault: connection to {endpoint!r} refused "
                     f"(call #{call_index})")
+            elif rule.kind == "busy":
+                # Shed before delivery — the server does no work, the
+                # caller gets the same BUSY frame a real shedding
+                # transport writes (or silence for oneway requests).
+                self._count(rule.kind, endpoint)
+                shed = busy_reply(data, "injected")
+                return shed if shed is not None else b""
             elif rule.kind == "drop_request":
                 self._count(rule.kind, endpoint)
                 raise CommFailure(

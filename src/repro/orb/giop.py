@@ -49,6 +49,11 @@ class ReplyStatus(enum.IntEnum):
     USER_EXCEPTION = 1
     SYSTEM_EXCEPTION = 2
     LOCATION_FORWARD = 3
+    #: Extension: the server refused the request under overload (shed
+    #: from the admission queue, or its deadline budget was already
+    #: spent on arrival).  Distinct from SYSTEM_EXCEPTION so clients
+    #: can apply retry *budgets* instead of eager failure handling.
+    BUSY = 4
 
 
 class LocateStatus(enum.IntEnum):
@@ -323,3 +328,54 @@ def peek_reply_id(data: Buffer) -> Optional[int]:
 #: Service-context id we use to carry the calling ORB product (mirrors
 #: how real ORBs tunnel vendor contexts).
 ORB_PRODUCT_CONTEXT = 0xBEEF
+
+#: Remaining deadline budget, in seconds, measured when the request was
+#: marshalled.  Carried as a *relative* budget (not an absolute expiry)
+#: so it stays meaningful across machines with unsynchronised clocks.
+DEADLINE_BUDGET_CONTEXT = 0xD15C
+
+#: Traffic class of the request ("interactive"/"background"); absent
+#: means interactive.  Overloaded servers shed background first.
+TRAFFIC_CLASS_CONTEXT = 0x7C1A
+
+
+def peek_request_admission(data: Buffer) -> tuple[Optional[float], str]:
+    """``(deadline_budget_seconds, traffic_class)`` of a Request frame.
+
+    Decodes only the service-context list at the head of the body —
+    the server's admission controller runs this on every frame *before*
+    dispatch, so it must not pay for argument decoding.  Frames that
+    are not requests, carry no overload contexts, or are damaged
+    default to ``(None, "interactive")``: never shed what cannot be
+    read.
+    """
+    message_type, decoder = _peek_decoder(data)
+    if decoder is None or message_type is not MessageType.REQUEST:
+        return None, "interactive"
+    budget: Optional[float] = None
+    traffic_class = "interactive"
+    try:
+        for context_id, value in _decode_service_context(decoder):
+            if context_id == DEADLINE_BUDGET_CONTEXT:
+                budget = float(value)
+            elif context_id == TRAFFIC_CLASS_CONTEXT:
+                traffic_class = value
+    except (MarshalError, ValueError):
+        return None, "interactive"
+    return budget, traffic_class
+
+
+def busy_reply(data: Buffer, reason: str,
+               little_endian: bool = False) -> Optional[bytes]:
+    """A serialized ``BUSY`` reply answering the request in *data*.
+
+    ``None`` when the frame carries no request id or expects no
+    response — there is nobody to tell, so the shed is silent.
+    """
+    request_id, response_expected = peek_request(data)
+    if request_id is None or not response_expected:
+        return None
+    return encode_message(
+        ReplyMessage(request_id=request_id, status=ReplyStatus.BUSY,
+                     body={"reason": reason}),
+        little_endian=little_endian)

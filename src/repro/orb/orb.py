@@ -25,9 +25,12 @@ from dataclasses import dataclass, field
 from typing import Any, Optional
 
 from repro import errors
-from repro.errors import (BadOperation, CommFailure, MarshalError, ObjectNotExist,
-                          OrbError, ReproError)
-from repro.orb.giop import (ORB_PRODUCT_CONTEXT, LocateReplyMessage,
+from repro.deadline import INTERACTIVE, current_policy
+from repro.errors import (BadOperation, CommFailure, DeadlineExceeded,
+                          MarshalError, ObjectNotExist, OrbError, ReproError,
+                          ServerBusy)
+from repro.orb.giop import (DEADLINE_BUDGET_CONTEXT, ORB_PRODUCT_CONTEXT,
+                            TRAFFIC_CLASS_CONTEXT, LocateReplyMessage,
                             LocateRequestMessage, LocateStatus, ReplyMessage,
                             ReplyStatus, RequestMessage, decode_message,
                             encode_message)
@@ -256,13 +259,26 @@ class Orb:
     def invoke(self, ior: Ior, operation: str, arguments: list[Any],
                oneway: bool = False) -> Any:
         """Send one GIOP request to the object behind *ior*."""
+        # Overload metadata rides in service contexts: the remaining
+        # deadline budget (so a saturated server can refuse dead work
+        # before dispatch) and any non-default traffic class (so it
+        # sheds background housekeeping first).
+        service_context = [(ORB_PRODUCT_CONTEXT, self.product)]
+        policy = current_policy()
+        if policy.deadline is not None:
+            service_context.append(
+                (DEADLINE_BUDGET_CONTEXT,
+                 f"{policy.deadline.remaining():.6f}"))
+        if policy.traffic_class != INTERACTIVE:
+            service_context.append(
+                (TRAFFIC_CLASS_CONTEXT, policy.traffic_class))
         request = RequestMessage(
             request_id=next(self._request_ids),
             object_key=ior.primary.object_key,
             operation=operation,
             arguments=arguments,
             response_expected=not oneway,
-            service_context=[(ORB_PRODUCT_CONTEXT, self.product)])
+            service_context=service_context)
         for interceptor in self._client_interceptors:
             interceptor(request)
         self.stats.note_sent()
@@ -279,6 +295,18 @@ class Orb:
             return reply.body
         if reply.status is ReplyStatus.USER_EXCEPTION:
             raise _revive_user_exception(reply.body)
+        if reply.status is ReplyStatus.BUSY:
+            body = reply.body if isinstance(reply.body, dict) else {}
+            reason = body.get("reason", "overload")
+            if reason == "deadline":
+                # The server saw our budget already spent: surface the
+                # same error the deadline itself would have raised, so
+                # no retry machinery touches it.
+                raise DeadlineExceeded(
+                    f"{ior.primary.endpoint!r} refused {operation}: "
+                    f"deadline budget exhausted before dispatch")
+            raise ServerBusy(
+                f"{ior.primary.endpoint!r} shed {operation} ({reason})")
         body = reply.body if isinstance(reply.body, dict) else {}
         exception_type = body.get("exception", "Unknown")
         message = body.get("message", "")

@@ -42,14 +42,17 @@ import socketserver
 import threading
 import time
 from collections import deque
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import wait as _wait_futures
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, Union
 
 from repro.deadline import Deadline, current_policy
 from repro.errors import CommFailure, DeadlineExceeded, MarshalError
-from repro.orb.giop import (HEADER_SIZE, peek_frame_size, peek_reply_id,
-                            peek_request)
+from repro.orb.giop import (HEADER_SIZE, busy_reply, peek_frame_size,
+                            peek_reply_id, peek_request,
+                            peek_request_admission)
+from repro.orb.overload import AdmissionController, OverloadPolicy
 
 #: A server-side message handler: request bytes in, reply bytes out
 #: (None for oneway messages).
@@ -93,6 +96,12 @@ class TransportMetrics:
     #: ``pipelined="auto"`` endpoints promoted serial -> striped after
     #: concurrent in-flight demand was observed.
     auto_promotions: int = 0
+    #: Admission control: requests shed under overload (queue cap,
+    #: brownout, CoDel sojourn) and requests dropped because their
+    #: caller's deadline budget was already spent — each answered with
+    #: a BUSY reply instead of a servant dispatch.
+    requests_shed: int = 0
+    requests_expired: int = 0
     _lock: threading.Lock = field(default_factory=threading.Lock,
                                   repr=False, compare=False)
 
@@ -143,6 +152,13 @@ class TransportMetrics:
         with self._lock:
             self.auto_promotions += 1
 
+    def record_shed(self, reason: str) -> None:
+        with self._lock:
+            if reason == "deadline":
+                self.requests_expired += 1
+            else:
+                self.requests_shed += 1
+
     def snapshot(self) -> dict[str, int]:
         """All counters, read atomically under the lock.
 
@@ -165,6 +181,8 @@ class TransportMetrics:
                 "batch_flushes": self.batch_flushes,
                 "frames_batched": self.frames_batched,
                 "auto_promotions": self.auto_promotions,
+                "requests_shed": self.requests_shed,
+                "requests_expired": self.requests_expired,
             }
 
     def reset(self) -> None:
@@ -182,6 +200,8 @@ class TransportMetrics:
             self.batch_flushes = 0
             self.frames_batched = 0
             self.auto_promotions = 0
+            self.requests_shed = 0
+            self.requests_expired = 0
 
 
 class Transport:
@@ -393,10 +413,13 @@ class _GiopRequestHandler(socketserver.BaseRequestHandler):
         endpoint = self.server.server_address  # type: ignore[attr-defined]
         write_lock = threading.Lock()
         workers: Optional[ThreadPoolExecutor] = None
+        in_flight: dict[Future, Any] = {}
         if transport.pipelined:
             workers = ThreadPoolExecutor(
-                max_workers=transport.pipeline_depth,
+                max_workers=transport.connection_workers
+                or transport.pipeline_depth,
                 thread_name_prefix=f"giop-worker-{endpoint[1]}")
+        admission = transport.admission
         try:
             while True:
                 try:
@@ -406,17 +429,50 @@ class _GiopRequestHandler(socketserver.BaseRequestHandler):
                 handler = transport.handler_for((endpoint[0], endpoint[1]))
                 if handler is None:
                     return
+                ticket = None
+                if admission.enabled:
+                    budget, traffic_class = peek_request_admission(data)
+                    ticket, reason = admission.enqueue(budget, traffic_class)
+                    if reason is not None:
+                        transport.metrics.record_shed(reason)
+                        self._send_busy(data, reason, write_lock)
+                        continue
                 if workers is not None:
-                    workers.submit(self._serve_one, transport, handler,
-                                   data, write_lock)
+                    future = workers.submit(self._serve_one, transport,
+                                            handler, data, write_lock,
+                                            ticket)
+                    in_flight[future] = ticket
+                    future.add_done_callback(
+                        lambda f: in_flight.pop(f, None))
                 else:
-                    self._serve_one(transport, handler, data, write_lock)
+                    self._serve_one(transport, handler, data, write_lock,
+                                    ticket)
         finally:
             if workers is not None:
-                workers.shutdown(wait=False)
+                # Drain, don't abandon: a dispatch already running may
+                # hold servant-side locks (journal group commit, the
+                # registry lock) — give it a bounded window to finish.
+                # Queued-but-unstarted frames are cancelled: their
+                # caller's connection is gone, the work is dead.
+                workers.shutdown(wait=False, cancel_futures=True)
+                snapshot = dict(in_flight)
+                for future, ticket in snapshot.items():
+                    if future.cancelled() and ticket is not None:
+                        admission.abandon(ticket)
+                pending = [future for future in snapshot
+                           if not future.done()]
+                if pending:
+                    _wait_futures(pending, timeout=_DRAIN_TIMEOUT)
 
     def _serve_one(self, transport: "TcpTransport", handler: Handler,
-                   data: bytes, write_lock: threading.Lock) -> None:
+                   data: bytes, write_lock: threading.Lock,
+                   ticket=None) -> None:
+        if ticket is not None:
+            reason = transport.admission.dequeue(ticket)
+            if reason is not None:
+                transport.metrics.record_shed(reason)
+                self._send_busy(data, reason, write_lock)
+                return
         if transport.latency > 0:
             time.sleep(transport.latency)
         try:
@@ -431,6 +487,26 @@ class _GiopRequestHandler(socketserver.BaseRequestHandler):
             except OSError:
                 _close_quietly(self.request)
 
+    def _send_busy(self, data: bytes, reason: str,
+                   write_lock: threading.Lock) -> None:
+        """Answer a shed request with a BUSY reply (cheap: no servant
+        dispatch, no modelled latency — shedding must cost less than
+        serving, or it cannot protect anything)."""
+        reply = busy_reply(data, reason)
+        if reply is None:
+            return  # oneway or unattributable: shed silently
+        try:
+            with write_lock:
+                self.request.sendall(reply)
+        except OSError:
+            _close_quietly(self.request)
+
+
+#: How long transport teardown waits for in-flight servant dispatches
+#: before giving up on them: long enough for a journal group commit,
+#: short enough that closing a transport never hangs a test run.
+_DRAIN_TIMEOUT = 2.0
+
 
 class _GiopServer(socketserver.ThreadingTCPServer):
     allow_reuse_address = True
@@ -438,6 +514,8 @@ class _GiopServer(socketserver.ThreadingTCPServer):
     # Parallel discovery fan-out opens bursts of simultaneous
     # connections; the socketserver default backlog of 5 drops the
     # overflow SYNs, stalling clients on kernel retransmit timers.
+    # This is only the default — ``TcpTransport(accept_backlog=...)``
+    # overrides it per instance before the listen socket activates.
     request_queue_size = 64
 
 
@@ -675,6 +753,16 @@ def _loop_default() -> bool:
     exporting ``REPRO_TRANSPORT_LOOP=1`` without touching any test."""
     return os.environ.get("REPRO_TRANSPORT_LOOP", "").lower() in (
         "1", "true", "yes", "event-loop", "eventloop")
+
+
+def _shed_default() -> bool:
+    """Process-wide default for ``TcpTransport(overload=...)``: CI's
+    overload matrix turns admission control on for whole suites by
+    exporting ``REPRO_SHEDDING=1``.  Off unless asked for — shedding
+    changes observable behaviour (BUSY replies) and must never
+    surprise a test that queues deliberately."""
+    return os.environ.get("REPRO_SHEDDING", "").lower() in (
+        "1", "true", "yes", "on")
 
 
 class _EventLoop:
@@ -1244,7 +1332,10 @@ class TcpTransport(Transport):
                  pipelined: Union[bool, str] = False,
                  stripes: Optional[int] = None, pipeline_depth: int = 32,
                  loop: Optional[bool] = None, loop_workers: int = 6,
-                 batch_flush: int = 64 * 1024, auto_threshold: int = 2):
+                 batch_flush: int = 64 * 1024, auto_threshold: int = 2,
+                 accept_backlog: Optional[int] = None,
+                 connection_workers: Optional[int] = None,
+                 overload: Optional[OverloadPolicy] = None):
         if pipelined not in (False, True, "auto"):
             raise ValueError(
                 f"pipelined must be False, True, or 'auto', "
@@ -1276,6 +1367,22 @@ class TcpTransport(Transport):
         self.loop_enabled = _loop_default() if loop is None else bool(loop)
         self.loop_workers = max(1, int(loop_workers))
         self.batch_flush = max(1, int(batch_flush))
+        #: Listen backlog for every endpoint this transport binds.
+        #: Unset, the mode defaults apply (64 threaded, 512 loop).
+        self.accept_backlog = (None if accept_backlog is None
+                               else max(1, int(accept_backlog)))
+        #: Per-connection dispatch pool size in threaded pipelined
+        #: mode.  Unset, it tracks ``pipeline_depth`` (the pre-existing
+        #: behaviour: enough workers that a full pipeline never queues).
+        self.connection_workers = (None if connection_workers is None
+                                   else max(1, int(connection_workers)))
+        #: Server-side admission control, defaulting from
+        #: ``REPRO_SHEDDING``.  Disabled, the controller is never
+        #: consulted and the dispatch paths are byte-identical to a
+        #: transport built before it existed.
+        if overload is None:
+            overload = OverloadPolicy(shed=_shed_default())
+        self.admission = AdmissionController(overload)
         #: Concurrent senders to one endpoint that trigger an auto
         #: promotion (2 = the first time any overlap is observed).
         self.auto_threshold = max(2, int(auto_threshold))
@@ -1294,6 +1401,9 @@ class TcpTransport(Transport):
         self._worker_prefix = f"giop-exec-{self._seq}"
         self._event_loop: Optional[_EventLoop] = None
         self._workers: Optional[ThreadPoolExecutor] = None
+        #: In-flight loop-worker dispatches, so close() can drain them
+        #: with a bounded timeout instead of abandoning them mid-write.
+        self._loop_futures: set[Future] = set()
         self._loop_lock = threading.Lock()
         self.metrics = TransportMetrics()
 
@@ -1316,7 +1426,19 @@ class TcpTransport(Transport):
         __, port = endpoint
         if self.loop_enabled:
             return self._register_loop(port, handler)
-        server = _GiopServer((self.host, port), _GiopRequestHandler)
+        # bind_and_activate=False so the instance's accept backlog is
+        # in place before ``listen`` runs.
+        server = _GiopServer((self.host, port), _GiopRequestHandler,
+                             bind_and_activate=False)
+        if self.accept_backlog is not None:
+            server.request_queue_size = self.accept_backlog
+        try:
+            server.server_bind()
+            server.server_activate()
+        except OSError as exc:
+            server.server_close()
+            raise CommFailure(
+                f"cannot bind {(self.host, port)!r}: {exc}") from exc
         server.transport = self  # type: ignore[attr-defined]
         bound = (self.host, server.server_address[1])
         with self._lock:
@@ -1332,8 +1454,9 @@ class TcpTransport(Transport):
         # returning), then hand the listener to the loop to accept on.
         loop = self._ensure_loop()
         try:
-            sock = socket.create_server((self.host, port),
-                                        backlog=_LOOP_BACKLOG)
+            sock = socket.create_server(
+                (self.host, port),
+                backlog=self.accept_backlog or _LOOP_BACKLOG)
         except OSError as exc:
             raise CommFailure(
                 f"cannot bind {(self.host, port)!r}: {exc}") from exc
@@ -1372,24 +1495,51 @@ class TcpTransport(Transport):
     def _dispatch_loop_frame(self, connection: _LoopServerConnection,
                              frame: Frame) -> None:
         """Loop thread: hand one decoded-off-the-wire frame to the
-        worker pool.  The loop never runs servant code itself."""
+        worker pool.  The loop never runs servant code itself — and
+        admission control runs *here*, so shed requests cost the loop a
+        service-context peek instead of a worker-pool slot."""
         handler = self.handler_for(connection.endpoint)
         if handler is None or self._workers is None:
             connection.close()
             return
+        ticket = None
+        if self.admission.enabled:
+            budget, traffic_class = peek_request_admission(frame)
+            ticket, reason = self.admission.enqueue(budget, traffic_class)
+            if reason is not None:
+                self.metrics.record_shed(reason)
+                shed_reply = busy_reply(frame, reason)
+                if shed_reply is not None:
+                    connection.enqueue(shed_reply)
+                return
         try:
-            self._workers.submit(self._serve_loop_frame, connection,
-                                 handler, frame)
+            future = self._workers.submit(self._serve_loop_frame,
+                                          connection, handler, frame,
+                                          ticket)
         except RuntimeError:  # pool shut down mid-close
+            if ticket is not None:
+                self.admission.abandon(ticket)
             connection.close()
+            return
+        self._loop_futures.add(future)
+        future.add_done_callback(self._loop_futures.discard)
 
     def _serve_loop_frame(self, connection: _LoopServerConnection,
-                          handler: Handler, frame: Frame) -> None:
+                          handler: Handler, frame: Frame,
+                          ticket=None) -> None:
         """Worker thread: run the servant, post the reply back to the
         loop.  The modelled WAN ``latency`` is applied as a timer delay
         on the reply rather than a worker sleep — a storm of delayed
         requests parks on the loop's heap, not on scarce threads."""
         loop = self._event_loop
+        if ticket is not None:
+            reason = self.admission.dequeue(ticket)
+            if reason is not None:
+                self.metrics.record_shed(reason)
+                shed_reply = busy_reply(frame, reason)
+                if shed_reply is not None and loop is not None:
+                    loop.call_soon(connection.enqueue, shed_reply)
+                return
         try:
             reply = handler(frame)
         except Exception:  # noqa: BLE001 - undecodable frame: the
@@ -1423,6 +1573,11 @@ class TcpTransport(Transport):
 
     def send(self, endpoint: Endpoint, data: bytes) -> bytes:
         timeout, deadline = self._effective_timeout()
+        # First attempts refill the caller's retry budget per endpoint;
+        # transparent resends (stale pool, dead stripe) draw it down.
+        budget = current_policy().retry_budget
+        if budget is not None:
+            budget.note_attempt(f"{endpoint[0]}:{endpoint[1]}")
         use_pipeline = self.pipelined is True
         tracking_auto = False
         if self.pipelined == "auto":
@@ -1500,6 +1655,7 @@ class TcpTransport(Transport):
                             f"IIOP send to {endpoint!r} failed on a "
                             f"pooled connection; not resending a "
                             f"non-idempotent request ({exc})") from exc
+                    self._charge_resend(endpoint, exc)
                 else:
                     self._pool.checkin(endpoint, pooled)
                     self.metrics.record_connection(reused=True)
@@ -1678,6 +1834,20 @@ class TcpTransport(Transport):
                 f"IIOP send to {endpoint!r} failed on a pipelined "
                 f"connection; not resending a non-idempotent request "
                 f"({cause})") from cause
+        self._charge_resend(endpoint, cause)
+
+    def _charge_resend(self, endpoint: Endpoint, cause: Exception) -> None:
+        """Withdraw one retry token for a transparent resend; without a
+        token the failure surfaces instead — even "free" transport
+        retries must stay inside the caller's retry budget, or a busy
+        endpoint sees its offered load multiply exactly when it can
+        least afford it."""
+        budget = current_policy().retry_budget
+        if budget is not None \
+                and not budget.try_acquire(f"{endpoint[0]}:{endpoint[1]}"):
+            raise CommFailure(
+                f"retry budget exhausted for {endpoint!r}; not resending "
+                f"({cause})") from cause
 
     def stripe_count(self, endpoint: Endpoint) -> int:
         """Live pipelined connections to *endpoint* (tests, tuning)."""
@@ -1713,7 +1883,14 @@ class TcpTransport(Transport):
         with self._loop_lock:
             loop, self._event_loop = self._event_loop, None
             workers, self._workers = self._workers, None
+        if workers is not None:
+            # Same teardown contract as the per-connection pools: let
+            # running dispatches finish within a bounded window (they
+            # may hold journal/registry locks), cancel the queued rest.
+            workers.shutdown(wait=False, cancel_futures=True)
+            pending = [future for future in list(self._loop_futures)
+                       if not future.done()]
+            if pending:
+                _wait_futures(pending, timeout=_DRAIN_TIMEOUT)
         if loop is not None:
             loop.stop()
-        if workers is not None:
-            workers.shutdown(wait=False)

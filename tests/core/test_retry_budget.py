@@ -1,0 +1,150 @@
+"""Retry budgets: jitter bounds (property-based) and the token-bucket
+cap under concurrent callers."""
+
+import threading
+
+import pytest
+
+from repro.deadline import RetryBudget
+from repro.core.resilience import RetryPolicy
+from repro.errors import CommFailure
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+
+class TestNextDelayProperties:
+    @given(base=st.floats(min_value=0.001, max_value=1.0),
+           max_delay=st.floats(min_value=0.001, max_value=10.0),
+           multiplier=st.floats(min_value=1.0, max_value=10.0),
+           seed=st.integers(min_value=0, max_value=2**32 - 1),
+           draws=st.integers(min_value=1, max_value=20))
+    @settings(max_examples=60, deadline=None)
+    def test_delay_always_within_bounds(self, base, max_delay, multiplier,
+                                        seed, draws):
+        policy = RetryPolicy(base_delay=base, max_delay=max_delay,
+                             multiplier=multiplier, seed=seed)
+        previous = None
+        for __ in range(draws):
+            delay = policy.next_delay(previous)
+            assert delay <= max_delay
+            assert delay >= min(base, max_delay)
+            previous = delay
+
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_same_seed_same_jitter_sequence(self, seed):
+        first = RetryPolicy(seed=seed)
+        second = RetryPolicy(seed=seed)
+        previous_a = previous_b = None
+        for __ in range(5):
+            previous_a = first.next_delay(previous_a)
+            previous_b = second.next_delay(previous_b)
+            assert previous_a == previous_b
+
+
+class TestRetryBudgetAccounting:
+    def test_bucket_starts_full_and_caps_at_burst(self):
+        budget = RetryBudget(ratio=0.5, burst=3.0)
+        assert budget.tokens("a") == 3.0
+        for __ in range(20):
+            budget.note_attempt("a")
+        assert budget.tokens("a") == 3.0  # deposits cap at burst
+
+    def test_keys_are_independent_buckets(self):
+        budget = RetryBudget(ratio=0.0, burst=1.0)
+        assert budget.try_acquire("a")
+        assert not budget.try_acquire("a")
+        assert budget.try_acquire("b")  # a's exhaustion never touches b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryBudget(ratio=-0.1)
+        with pytest.raises(ValueError):
+            RetryBudget(burst=0.5)
+
+    @given(ratio=st.floats(min_value=0.0, max_value=0.5),
+           burst=st.floats(min_value=1.0, max_value=8.0),
+           attempts=st.integers(min_value=1, max_value=200))
+    @settings(max_examples=60, deadline=None)
+    def test_grants_never_exceed_ratio_plus_burst(self, ratio, burst,
+                                                  attempts):
+        budget = RetryBudget(ratio=ratio, burst=burst)
+        granted = 0
+        for __ in range(attempts):
+            budget.note_attempt("endpoint")
+            if budget.try_acquire("endpoint"):
+                granted += 1
+        # The invariant the bucket exists for: long-run retry volume is
+        # a bounded fraction of offered load, plus the initial burst.
+        assert granted <= ratio * attempts + burst
+
+    def test_concurrent_callers_respect_the_cap(self):
+        budget = RetryBudget(ratio=0.1, burst=5.0)
+        workers, per_worker = 8, 100
+        granted = [0] * workers
+        barrier = threading.Barrier(workers)
+
+        def caller(slot):
+            barrier.wait()
+            for __ in range(per_worker):
+                budget.note_attempt("shared")
+                if budget.try_acquire("shared"):
+                    granted[slot] += 1
+
+        threads = [threading.Thread(target=caller, args=(slot,))
+                   for slot in range(workers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        attempts = workers * per_worker
+        assert budget.snapshot()["attempts"] == attempts
+        assert sum(granted) <= 0.1 * attempts + 5.0
+        assert sum(granted) == budget.snapshot()["granted"]
+
+
+class TestRetryPolicyBudgetIntegration:
+    def _flaky(self, failures):
+        state = {"calls": 0}
+
+        def fn():
+            state["calls"] += 1
+            if state["calls"] <= failures:
+                raise CommFailure("flap")
+            return "ok"
+
+        return fn, state
+
+    def test_budget_allows_retry_then_denies_when_spent(self):
+        budget = RetryBudget(ratio=0.0, burst=1.0)  # exactly one retry ever
+        policy = RetryPolicy(max_attempts=3, sleep=lambda __: None,
+                             budget=budget)
+        fn, state = self._flaky(failures=1)
+        assert policy.call(fn, idempotent=True, key="site") == "ok"
+        assert state["calls"] == 2
+
+        fn, state = self._flaky(failures=1)
+        with pytest.raises(CommFailure):
+            policy.call(fn, idempotent=True, key="site")
+        assert state["calls"] == 1  # denied before the second attempt
+        assert policy.budget_denials == 1
+
+    def test_budget_refills_from_first_attempts(self):
+        budget = RetryBudget(ratio=0.5, burst=1.0)
+        policy = RetryPolicy(max_attempts=2, sleep=lambda __: None,
+                             budget=budget)
+        fn, __ = self._flaky(failures=1)
+        assert policy.call(fn, idempotent=True, key="site") == "ok"
+        assert not budget.try_acquire("site")  # spent
+        for __unused in range(2):  # two successes deposit 2 * 0.5 tokens
+            policy.call(lambda: "ok", idempotent=True, key="site")
+        fn, state = self._flaky(failures=1)
+        assert policy.call(fn, idempotent=True, key="site") == "ok"
+        assert state["calls"] == 2
+
+    def test_without_budget_behaviour_is_unchanged(self):
+        policy = RetryPolicy(max_attempts=3, sleep=lambda __: None)
+        fn, state = self._flaky(failures=2)
+        assert policy.call(fn, idempotent=True) == "ok"
+        assert state["calls"] == 3
