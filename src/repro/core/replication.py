@@ -820,7 +820,8 @@ class FailoverCoDatabaseClient(CoDatabaseClient):
             # propagate into the hedged attempt.
             with call_policy(deadline=policy.deadline, idempotent=True,
                              traffic_class=policy.traffic_class,
-                             retry_budget=policy.retry_budget):
+                             retry_budget=policy.retry_budget,
+                             attempt=policy.attempt):
                 began = time.monotonic()
                 try:
                     outcome["value"] = self._invoke_target(
@@ -852,11 +853,21 @@ class FailoverCoDatabaseClient(CoDatabaseClient):
             value = self._invoke_target(backup, operation, *args)
         except FAILURE_ERRORS as exc:
             self._health.record(backup.key, ok=False)
-            done.wait()
-            if "value" in outcome:
-                hedge.record_hedge(won=False)
+            # The hedge fired precisely because the primary is
+            # tail-slow, so this wait must not stall the caller past
+            # its deadline behind the very straggler hedging exists to
+            # escape: grant the primary only the remaining deadline
+            # budget, then surface the backup's failure and let the
+            # detached primary thread finish in the background.  With
+            # no deadline the wait is still bounded in practice — the
+            # primary attempt's socket timeouts settle ``done``.
+            if policy.deadline is not None:
+                settled = done.wait(max(0.0, policy.deadline.remaining()))
+            else:
+                settled = done.wait()
+            hedge.record_hedge(won=False)
+            if settled and "value" in outcome:
                 return outcome["value"], primary_index
-            hedge.record_hedge(won=False)  # fired, helped nobody
             raise exc
         hedge.observe(self.name, time.monotonic() - began)
         self._health.record(backup.key, ok=True)

@@ -131,7 +131,13 @@ class RetryPolicy:
             self.budget.note_attempt(key)
         for attempt in range(1, self.max_attempts + 1):
             try:
-                return fn()
+                if attempt == 1:
+                    return fn()
+                # Mark retries in the call policy so the transport
+                # does not treat the resend as a fresh first attempt
+                # and refill the very retry budget being drawn down.
+                with call_policy(attempt=attempt):
+                    return fn()
             except DeadlineExceeded:
                 raise  # the budget is gone; retrying cannot help
             except self.retryable:

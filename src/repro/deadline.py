@@ -166,6 +166,13 @@ class CallPolicy:
     #: connections, dead pipelined stripes) so even "transparent"
     #: retries count against the global retry cap.  None: uncapped.
     retry_budget: Optional[RetryBudget] = None
+    #: 1 for the first attempt of the logical call; policy-level
+    #: retries (:meth:`~repro.core.resilience.RetryPolicy.call`)
+    #: re-enter the transport with the attempt index, so the
+    #: transport refills the retry budget only for genuine first
+    #: attempts — a resend must never deposit the tokens that would
+    #: fund further resends.
+    attempt: int = 1
 
 
 _DEFAULT_POLICY = CallPolicy()
@@ -182,6 +189,7 @@ def call_policy(deadline: Optional[Deadline] = None,
                 idempotent: Optional[bool] = None,
                 traffic_class: Optional[str] = None,
                 retry_budget: Optional[RetryBudget] = None,
+                attempt: Optional[int] = None,
                 ) -> Iterator[CallPolicy]:
     """Install a call policy for the duration of the ``with`` block.
 
@@ -196,7 +204,8 @@ def call_policy(deadline: Optional[Deadline] = None,
         traffic_class=(previous.traffic_class if traffic_class is None
                        else traffic_class),
         retry_budget=(previous.retry_budget if retry_budget is None
-                      else retry_budget))
+                      else retry_budget),
+        attempt=previous.attempt if attempt is None else attempt)
     _state.policy = merged
     try:
         yield merged

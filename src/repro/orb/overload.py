@@ -152,10 +152,15 @@ class AdmissionController:
         or a shed reason when the request must be refused instead.
         """
         now = self._clock()
-        ticket.settled = True
         sojourn = now - ticket.enqueued_at
         with self._lock:
-            self._pending -= 1
+            # Test-and-set under the lock: a concurrent abandon() on
+            # the same ticket (error paths may call it unconditionally)
+            # must not double-decrement ``_pending``.
+            first = not ticket.settled
+            ticket.settled = True
+            if first:
+                self._pending -= 1
             if ticket.budget is not None and sojourn >= ticket.budget:
                 self.shed_deadline += 1
                 return SHED_DEADLINE
@@ -179,11 +184,14 @@ class AdmissionController:
 
     def abandon(self, ticket: AdmissionTicket) -> None:
         """Release an admitted request that never reached a worker
-        (connection died, submit failed)."""
-        if ticket.settled:
-            return
-        ticket.settled = True
+        (connection died, submit failed).  Safe to call
+        unconditionally from error paths: the test-and-set runs under
+        the controller lock, so racing abandon/abandon or
+        abandon/dequeue settles the ticket exactly once."""
         with self._lock:
+            if ticket.settled:
+                return
+            ticket.settled = True
             self._pending -= 1
 
     # -- reporting --------------------------------------------------

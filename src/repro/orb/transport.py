@@ -268,7 +268,15 @@ def _read_exact(connection: socket.socket, count: int) -> bytes:
     chunks: list[bytes] = []
     remaining = count
     while remaining > 0:
-        chunk = connection.recv(remaining)
+        try:
+            chunk = connection.recv(remaining)
+        except TimeoutError:
+            raise  # deadline machinery upstack maps timeouts itself
+        except OSError as exc:
+            # A reset peer is the same condition as a closed one — the
+            # counterpart died between (or mid) frames.
+            raise CommFailure(f"connection reset mid-message: {exc}") \
+                from exc
         if not chunk:
             raise CommFailure("connection closed mid-message")
         chunks.append(chunk)
@@ -442,8 +450,19 @@ class _GiopRequestHandler(socketserver.BaseRequestHandler):
                                             handler, data, write_lock,
                                             ticket)
                     in_flight[future] = ticket
-                    future.add_done_callback(
-                        lambda f: in_flight.pop(f, None))
+
+                    # The abandon must happen *here*, not in a sweep
+                    # after shutdown(): this callback pops the future
+                    # from ``in_flight`` as soon as it settles, so a
+                    # later sweep would never see cancelled entries and
+                    # their queue slots would leak on the
+                    # transport-shared admission controller.
+                    def _settle(f: Future, t=ticket) -> None:
+                        in_flight.pop(f, None)
+                        if t is not None and f.cancelled():
+                            admission.abandon(t)
+
+                    future.add_done_callback(_settle)
                 else:
                     self._serve_one(transport, handler, data, write_lock,
                                     ticket)
@@ -453,13 +472,11 @@ class _GiopRequestHandler(socketserver.BaseRequestHandler):
                 # hold servant-side locks (journal group commit, the
                 # registry lock) — give it a bounded window to finish.
                 # Queued-but-unstarted frames are cancelled: their
-                # caller's connection is gone, the work is dead.
+                # caller's connection is gone, the work is dead, and
+                # each one's done-callback abandons its admission
+                # ticket so the shared controller gets its slot back.
                 workers.shutdown(wait=False, cancel_futures=True)
-                snapshot = dict(in_flight)
-                for future, ticket in snapshot.items():
-                    if future.cancelled() and ticket is not None:
-                        admission.abandon(ticket)
-                pending = [future for future in snapshot
+                pending = [future for future in list(in_flight)
                            if not future.done()]
                 if pending:
                     _wait_futures(pending, timeout=_DRAIN_TIMEOUT)
@@ -1522,7 +1539,17 @@ class TcpTransport(Transport):
             connection.close()
             return
         self._loop_futures.add(future)
-        future.add_done_callback(self._loop_futures.discard)
+
+        # Mirrors the threaded path: a future cancelled by
+        # ``close()``'s shutdown(cancel_futures=True) never reaches
+        # ``_serve_loop_frame``, so its admission slot must be
+        # released here or it leaks on the shared controller.
+        def _settle(f: Future, t=ticket) -> None:
+            self._loop_futures.discard(f)
+            if t is not None and f.cancelled():
+                self.admission.abandon(t)
+
+        future.add_done_callback(_settle)
 
     def _serve_loop_frame(self, connection: _LoopServerConnection,
                           handler: Handler, frame: Frame,
@@ -1575,8 +1602,13 @@ class TcpTransport(Transport):
         timeout, deadline = self._effective_timeout()
         # First attempts refill the caller's retry budget per endpoint;
         # transparent resends (stale pool, dead stripe) draw it down.
-        budget = current_policy().retry_budget
-        if budget is not None:
+        # A send re-entered by a policy-level retry (attempt > 1) is
+        # itself a retry, not a first attempt: refilling for it would
+        # let retry-heavy traffic mint the tokens funding its own
+        # retries, overstating the ratio cap.
+        policy = current_policy()
+        budget = policy.retry_budget
+        if budget is not None and policy.attempt == 1:
             budget.note_attempt(f"{endpoint[0]}:{endpoint[1]}")
         use_pipeline = self.pipelined is True
         tracking_auto = False

@@ -8,6 +8,7 @@ import pytest
 
 from repro.core.replication import FailoverCoDatabaseClient, ReplicaTarget
 from repro.core.resilience import HealthBoard, HedgePolicy
+from repro.deadline import Deadline, call_policy
 from repro.errors import CommFailure
 
 
@@ -123,6 +124,22 @@ class TestHedgedFailoverClient:
         assert snapshot["hedges_fired"] == 1
         assert snapshot["hedges_lost"] == 1
         assert client.failovers == 0
+
+    def test_backup_failure_does_not_outwait_the_deadline(self):
+        # The hedge fired because the primary is tail-slow; when the
+        # backup then fails, the caller must get the failure within
+        # its deadline budget instead of stalling behind the straggler.
+        primary = FakeProxy("primary", latency=0.5)
+        backup = FakeProxy("backup", failures=5)
+        hedge = HedgePolicy(default_delay=0.02)
+        client = _client(primary, backup, hedge)
+        started = time.monotonic()
+        with call_policy(deadline=Deadline(0.1)):
+            with pytest.raises(CommFailure):
+                client._routed_call("lookup")
+        elapsed = time.monotonic() - started
+        assert elapsed < 0.4  # did not wait out the 0.5s primary
+        assert hedge.snapshot()["hedges_lost"] == 1
 
     def test_both_sides_failing_raises(self):
         primary = FakeProxy("primary", latency=0.1, failures=5)

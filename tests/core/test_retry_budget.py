@@ -5,7 +5,7 @@ import threading
 
 import pytest
 
-from repro.deadline import RetryBudget
+from repro.deadline import RetryBudget, current_policy
 from repro.core.resilience import RetryPolicy
 from repro.errors import CommFailure
 
@@ -148,3 +148,21 @@ class TestRetryPolicyBudgetIntegration:
         fn, state = self._flaky(failures=2)
         assert policy.call(fn, idempotent=True) == "ok"
         assert state["calls"] == 3
+
+    def test_retries_run_with_attempt_marked_in_the_call_policy(self):
+        # The transport refills the per-endpoint budget only when
+        # current_policy().attempt == 1; a policy-level retry must not
+        # masquerade as a fresh first attempt and mint its own tokens.
+        policy = RetryPolicy(max_attempts=3, sleep=lambda __: None)
+        seen = []
+
+        def fn():
+            seen.append(current_policy().attempt)
+            if len(seen) < 3:
+                raise CommFailure("flap")
+            return "ok"
+
+        assert policy.call(fn, idempotent=True) == "ok"
+        assert seen == [1, 2, 3]
+        # The marking is scoped to the attempt, not leaked afterwards.
+        assert current_policy().attempt == 1

@@ -1,6 +1,7 @@
 """Admission control: the controller, the wire protocol, and shedding
 end-to-end over both transport dispatch paths."""
 
+import socket
 import threading
 import time
 
@@ -155,6 +156,20 @@ class TestAdmissionController:
         admission.abandon(ticket)
         assert admission.pending == 0
 
+    def test_dequeue_after_abandon_never_double_decrements(self):
+        # Error paths may abandon unconditionally while a worker races
+        # to dequeue the same ticket; whichever settles it first owns
+        # the single pending-slot release.
+        admission = controller(FakeClock())
+        first, __ = admission.enqueue(None, "interactive")
+        second, __ = admission.enqueue(None, "interactive")
+        assert admission.pending == 2
+        admission.abandon(first)
+        admission.dequeue(first)  # already settled: no second release
+        assert admission.pending == 1
+        admission.abandon(second)
+        assert admission.pending == 0
+
 
 class TestOverloadWireProtocol:
     def test_admission_contexts_roundtrip(self):
@@ -271,6 +286,74 @@ class TestSheddingOverTcp:
         assert finished.is_set(), \
             "transport.close() abandoned an in-flight dispatch"
         caller.join(timeout=2.0)
+
+    def test_connection_teardown_abandons_queued_admission_tickets(self):
+        """Frames still queued behind a busy worker when their
+        connection dies are cancelled; each cancelled frame must hand
+        its admission ticket back, or the transport-shared controller
+        leaks queue capacity until everything is shed as queue-full."""
+        release = threading.Event()
+
+        class BlockingServant:
+            def echo(self, value):
+                release.wait(5.0)
+                return value
+
+        policy = OverloadPolicy(shed=True, queue_limit=64,
+                                codel_target=10.0, codel_interval=10.0)
+        transport = TcpTransport(pipelined=True, stripes=1,
+                                 connection_workers=1, overload=policy)
+        try:
+            server = create_orb(ORBIX, transport, host="127.0.0.1", port=0)
+            client = create_orb(VISIBROKER, transport, host="127.0.0.1",
+                                port=0)
+            proxy = client.proxy(server.activate(BlockingServant(), ECHO),
+                                 ECHO)
+
+            def fire():
+                try:
+                    proxy.echo("x")
+                except CommFailure:
+                    pass  # the connection died under us: expected
+
+            callers = [threading.Thread(target=fire, daemon=True)
+                       for __ in range(4)]
+            for caller in callers:
+                caller.start()
+            # One frame occupies the single worker (its ticket settles
+            # at pickup); the other three wait in the executor queue.
+            deadline = time.monotonic() + 2.0
+            while (transport.admission.snapshot()["pending"] < 3
+                   and time.monotonic() < deadline):
+                time.sleep(0.01)
+            assert transport.admission.snapshot()["pending"] == 3
+            # Kill the connection under the server (a plain close would
+            # not surface until the blocked reader thread wakes): the
+            # handler tears down its pool while the worker is still
+            # busy, so the three queued frames get *cancelled*.
+            with transport._channels_lock:
+                channels = [channel for stripes
+                            in transport._channels.values()
+                            for channel in stripes]
+            assert channels, "expected an open pipelined channel"
+            for channel in channels:
+                channel._sock.shutdown(socket.SHUT_RDWR)
+            # Teardown runs in the handler thread: poll for the
+            # cancelled frames' tickets to be abandoned.  The worker
+            # stays blocked throughout, so dequeue cannot be the one
+            # releasing them.
+            deadline = time.monotonic() + 2.0
+            while (transport.admission.snapshot()["pending"] > 0
+                   and time.monotonic() < deadline):
+                time.sleep(0.01)
+            assert not release.is_set()
+            assert transport.admission.snapshot()["pending"] == 0, \
+                "cancelled dispatches leaked admission tickets"
+        finally:
+            release.set()
+            transport.close()
+        for caller in callers:
+            caller.join(timeout=2.0)
 
 
 class TestBusyFaultRule:
