@@ -92,7 +92,9 @@ def build_healthcare_system(
         quorum: bool = False,
         journal_sync: str = "never",
         lease_duration: Optional[float] = None,
-        metadata_cache=None) -> HealthcareDeployment:
+        metadata_cache=None,
+        shards: int = 1,
+        cache_tier: bool = False) -> HealthcareDeployment:
     """Deploy the full healthcare federation and return its handle."""
     extra = {} if lease_duration is None \
         else {"lease_duration": lease_duration}
@@ -108,6 +110,8 @@ def build_healthcare_system(
                              snapshot_every=snapshot_every,
                              quorum=quorum,
                              journal_sync=journal_sync,
+                             shards=shards,
+                             cache_tier=cache_tier,
                              **extra)
     relational: dict[str, Database] = {}
     objects: dict[str, ObjectDatabase] = {}

@@ -24,7 +24,7 @@ from typing import Any, Optional
 from repro.core.coalition import Coalition
 from repro.core.model import Ontology, SourceDescription, topic_score
 from repro.core.service_link import EndpointKind, ServiceLink
-from repro.errors import UnknownCoalition, UnknownDatabase
+from repro.errors import UnknownCoalition, UnknownDatabase, WebFinditError
 from repro.oodb.database import ObjectDatabase
 from repro.oodb.schema import Attribute
 from repro.orb.idl import InterfaceBuilder, InterfaceDef
@@ -91,6 +91,12 @@ class CoDatabase:
         #: prefix carry the same epoch — which is what journal replay,
         #: anti-entropy, and stale-read detection all compare.
         self.epoch = 0
+        #: High-water mark of *completed* writes.  ``epoch`` moves at
+        #: the start of a write and ``applied`` at its end, so a reader
+        #: that tags a value with ``applied`` can only understate its
+        #: freshness — never claim a version whose write it missed.
+        #: The shared cache tier's epoch tags rely on this.
+        self.applied = 0
 
     # ------------------------------------------------------------ population --
 
@@ -102,6 +108,7 @@ class CoDatabase:
                 f"{description.name!r}")
         self.epoch += 1
         self.local_description = description
+        self.applied = self.epoch
 
     def register_coalition(self, coalition: Coalition) -> None:
         """Make *coalition* known: define its class in the lattice."""
@@ -109,6 +116,7 @@ class CoDatabase:
         # version exactly as the original call did.
         self.epoch += 1
         if self._db.schema.has_class(coalition.name):
+            self.applied = self.epoch
             return
         parent = coalition.parent
         base = parent if parent and self._db.schema.has_class(parent) \
@@ -119,6 +127,7 @@ class CoDatabase:
                         information_type=coalition.information_type,
                         parent=coalition.parent or "",
                         doc=coalition.doc)
+        self.applied = self.epoch
 
     def record_membership(self, coalition_name: str) -> None:
         """Note that the owner belongs to *coalition_name*."""
@@ -126,11 +135,13 @@ class CoDatabase:
         self.epoch += 1
         if coalition_name not in self.memberships:
             self.memberships.append(coalition_name)
+        self.applied = self.epoch
 
     def drop_membership(self, coalition_name: str) -> None:
         self.epoch += 1
         if coalition_name in self.memberships:
             self.memberships.remove(coalition_name)
+        self.applied = self.epoch
 
     def add_member(self, coalition_name: str,
                    description: SourceDescription) -> None:
@@ -140,8 +151,10 @@ class CoDatabase:
         existing = self._db.select(coalition_name, include_subclasses=False,
                                    name=description.name)
         if existing:
+            self.applied = self.epoch
             return
         self._db.create(coalition_name, **description.to_wire())
+        self.applied = self.epoch
 
     def remove_member(self, coalition_name: str, source_name: str) -> None:
         self._require_coalition(coalition_name)
@@ -149,6 +162,7 @@ class CoDatabase:
         for obj in self._db.select(coalition_name, include_subclasses=False,
                                    name=source_name):
             self._db.delete(obj.oid)
+        self.applied = self.epoch
 
     def forget_coalition(self, coalition_name: str) -> None:
         """Remove a dissolved coalition's metadata (class stays defined —
@@ -165,6 +179,7 @@ class CoDatabase:
         # maintenance write bumps the epoch exactly once.
         if coalition_name in self.memberships:
             self.memberships.remove(coalition_name)
+        self.applied = self.epoch
 
     def add_service_link(self, link: ServiceLink) -> None:
         """Record a service link in the appropriate subclass."""
@@ -178,8 +193,10 @@ class CoDatabase:
                                    to_name=link.to_name)
         if any(o.get("from_kind") == payload["from_kind"]
                and o.get("to_kind") == payload["to_kind"] for o in existing):
+            self.applied = self.epoch
             return
         self._db.create(class_name, **payload)
+        self.applied = self.epoch
 
     def remove_service_link(self, link: ServiceLink) -> None:
         self.epoch += 1
@@ -190,6 +207,7 @@ class CoDatabase:
                 if (obj.get("from_kind") == link.from_kind.value
                         and obj.get("to_kind") == link.to_kind.value):
                     self._db.delete(obj.oid)
+        self.applied = self.epoch
 
     def attach_document(self, source_name: str, format_name: str,
                         content: str, url: str = "") -> None:
@@ -197,6 +215,7 @@ class CoDatabase:
         self.epoch += 1
         self._db.create("Document", owner=source_name, format=format_name,
                         content=content, url=url)
+        self.applied = self.epoch
 
     # ------------------------------------------------------------- queries --
 
@@ -367,7 +386,17 @@ CODATABASE_INTERFACE: InterfaceDef = (
     .operation("neighbor_databases")
     .operation("owner", doc="Name of the attached database")
     .operation("epoch", doc="Monotonic maintenance-write version")
+    .operation("versioned", "operation", "arguments",
+               doc="A read plus the epoch tag it is valid at — the "
+                   "shared cache tier's fetch path")
     .build())
+
+#: Reads the cache tier may fetch through :meth:`CoDatabaseServant.
+#: versioned` — every query operation, never a mutator.
+VERSIONED_OPERATIONS = frozenset({
+    "find_coalitions", "known_coalitions", "memberships", "subclasses_of",
+    "instances_of", "describe_instance", "documents_of", "service_links",
+    "neighbor_databases"})
 
 
 class CoDatabaseServant:
@@ -408,3 +437,19 @@ class CoDatabaseServant:
 
     def epoch(self) -> int:
         return self._codb.epoch
+
+    def versioned(self, operation: str, arguments: list) -> dict[str, Any]:
+        """One read plus the epoch tag it is valid at.
+
+        The tag is the ``applied`` watermark read *before* the value: a
+        maintenance write racing this read bumps ``epoch`` first and
+        ``applied`` last, so the tag can only understate the value's
+        freshness — a stale tag makes the cache tier re-fetch, never
+        serve silently stale data.
+        """
+        if operation not in VERSIONED_OPERATIONS:
+            raise WebFinditError(
+                f"{operation!r} is not a versioned co-database read")
+        tag = self._codb.applied
+        value = getattr(self, operation)(*arguments)
+        return {"value": value, "epoch": tag}

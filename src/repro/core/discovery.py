@@ -240,10 +240,14 @@ class DiscoveryResult:
     #: Databases whose co-databases could not be reached (autonomous
     #: sources leave at their own discretion; resolution continues).
     unreachable: list[str] = field(default_factory=list)
-    #: Metadata-cache accounting for this resolution (both stay zero
+    #: Metadata-cache accounting for this resolution (all stay zero
     #: when no cache is wired in front of the co-database clients).
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Reads that found the shared cache tier unreachable and fell
+    #: through to a direct co-database call (tier-down degradation —
+    #: completeness is unaffected, only the optimisation is lost).
+    cache_bypassed: int = 0
     #: Structured account of every co-database this resolution skipped,
     #: timed out on, or found tripped — empty means the reachable
     #: information space was explored in full.
@@ -483,6 +487,12 @@ class DiscoveryEngine:
                            for client in clients),
             cache_misses=sum(getattr(client, "cache_misses", 0)
                              for client in clients),
+            # Guarded with isinstance: duck-typed clients that swallow
+            # unknown attributes via __getattr__ hand back callables.
+            cache_bypassed=sum(
+                count for client in clients
+                if isinstance(count := getattr(client, "cache_bypassed",
+                                               0), int)),
             degraded=degraded)
 
     # -- internals ---------------------------------------------------------------

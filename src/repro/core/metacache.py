@@ -108,6 +108,38 @@ class MetadataCache:
             self.hits += 1
             return True, value
 
+    def lookup_fresh(self, database: str, operation: str, args: tuple,
+                     floor: Optional[int] = None) -> tuple[bool, Any]:
+        """Floor-semantics lookup for the shared cache tier.
+
+        An entry hits only when its epoch tag is **at least** *floor*
+        (the owning shard's post-mutation epoch pushed by the last
+        invalidation broadcast); older tags are dropped and counted as
+        :attr:`epoch_invalidations`.  Entries stored without an epoch
+        tag never satisfy a floor — the tier only serves provably-fresh
+        data.
+        """
+        key = (database, operation, args)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return False, None
+            expires, value, stored_epoch = entry
+            if self._clock() >= expires:
+                del self._entries[key]
+                self.expirations += 1
+                self.misses += 1
+                return False, None
+            if floor is not None and (stored_epoch is None
+                                      or stored_epoch < floor):
+                del self._entries[key]
+                self.epoch_invalidations += 1
+                self.misses += 1
+                return False, None
+            self.hits += 1
+            return True, value
+
     def store(self, database: str, operation: str, args: tuple,
               value: Any, epoch: Optional[int] = None) -> None:
         key = (database, operation, args)

@@ -17,6 +17,14 @@ Query traffic is remote (CORBA, via :class:`~repro.core.codatabase.
 CoDatabaseServant`); maintenance operations run through the registry,
 which writes directly into the affected co-databases and counts every
 write — the currency of benches S2/S3.
+
+The public maintenance operations are layered over *shard-local
+primitives* (``refresh_advertisement``, ``put_coalition``,
+``codb_write``, …) that touch only state this registry instance owns.
+A singleton deployment calls the orchestration methods below directly;
+a sharded deployment (:mod:`repro.core.sharding`) runs the same
+orchestration once in the coordinator and issues the primitives to
+whichever shard the consistent-hash ring says owns each name.
 """
 
 from __future__ import annotations
@@ -61,6 +69,10 @@ class Registry:
         #: Per-source circuit breakers, shared by every discovery engine
         #: in the federation so health memory outlives a single query.
         self.health = HealthBoard()
+        #: Monotonic shard-level mutation version: bumped once per
+        #: invalidation broadcast.  The cache tier and the ``\shards``
+        #: inspection read it to see how far a shard has moved.
+        self.mutation_epoch = 0
 
     # --------------------------------------------------------- invalidation --
 
@@ -78,8 +90,19 @@ class Registry:
         affected = frozenset(name for name in names if name)
         if not affected:
             return
+        self.mutation_epoch += 1
         for listener in self._invalidation_listeners:
             listener(affected)
+
+    def notify_mutation(self, names: Iterable[str]) -> None:
+        """Shard-local primitive: fire the invalidation listeners.
+
+        A sharded coordinator finishes a cross-shard mutation by telling
+        each shard which of its co-databases were written, so listeners
+        (metadata caches, the shared cache tier) see exactly the union a
+        singleton registry would have announced in one call.
+        """
+        self._notify(names)
 
     # ------------------------------------------------------------- sources --
 
@@ -106,23 +129,39 @@ class Registry:
         (propagating the refreshed description to coalition peers)."""
         if description.name not in self._sources:
             return self.add_source(description)
-        self._sources[description.name] = description
+        self.refresh_advertisement(description)
         codatabase = self._codatabases[description.name]
-        codatabase.advertise(description)
-        self.update_operations += 1
         touched = {description.name}
         for coalition_name in list(codatabase.memberships):
             coalition = self._coalitions.get(coalition_name)
             if coalition is None:
                 continue
             for member_name in coalition.members:
-                member_codb = self._codatabases[member_name]
-                member_codb.remove_member(coalition_name, description.name)
-                member_codb.add_member(coalition_name, description)
-                self.update_operations += 1
+                self.refresh_member(member_name, coalition_name, description)
                 touched.add(member_name)
         self._notify(touched)
         return codatabase
+
+    def refresh_advertisement(self, description: SourceDescription) -> None:
+        """Shard-local primitive: replace an owned source's advertisement
+        (no peer propagation, no invalidation — the caller orchestrates
+        both)."""
+        self.source(description.name)
+        self._sources[description.name] = description
+        self._codatabases[description.name].advertise(description)
+        self.update_operations += 1
+
+    def refresh_member(self, member_name: str, coalition_name: str,
+                       description: SourceDescription) -> None:
+        """Shard-local primitive: replace one member record in an owned
+        co-database — a single logical maintenance write."""
+        member_codb = self.codatabase(member_name)
+        member_codb.remove_member(coalition_name, description.name)
+        member_codb.add_member(coalition_name, description)
+        self.update_operations += 1
+
+    def has_source(self, name: str) -> bool:
+        return name in self._sources
 
     def source(self, name: str) -> SourceDescription:
         description = self._sources.get(name)
@@ -163,11 +202,27 @@ class Registry:
     def remove_source(self, name: str) -> None:
         """Unregister a source, leaving all its coalitions first."""
         self.source(name)
-        for coalition in list(self._coalitions.values()):
-            if coalition.has_member(name):
-                self.leave(name, coalition.name)
+        for coalition_name in self.coalitions_containing(name):
+            self.leave(name, coalition_name)
+        self.drop_links_involving(EndpointKind.DATABASE, name)
+        self.drop_source(name)
+
+    def coalitions_containing(self, member: str) -> list[str]:
+        """Owned coalitions (in creation order) that *member* belongs to."""
+        return [coalition.name for coalition in self._coalitions.values()
+                if coalition.has_member(member)]
+
+    def drop_links_involving(self, kind: EndpointKind, name: str) -> None:
+        """Shard-local primitive: forget stored links touching an
+        endpoint, without co-database writes (mirrors what source
+        removal has always done)."""
         self._links = [link for link in self._links
-                       if not link.involves(EndpointKind.DATABASE, name)]
+                       if not link.involves(kind, name)]
+
+    def drop_source(self, name: str) -> None:
+        """Shard-local primitive: unregister an owned source whose
+        coalition memberships and links the caller already unwound."""
+        self.source(name)
         del self._sources[name]
         del self._codatabases[name]
         self.update_operations += 1
@@ -186,10 +241,9 @@ class Registry:
             raise UnknownCoalition(f"no parent coalition {parent!r}")
         coalition = Coalition(name=name, information_type=information_type,
                               parent=parent, doc=doc)
-        self._coalitions[name] = coalition
-        self._children.setdefault(name, [])
+        self.put_coalition(coalition)
         if parent is not None:
-            self._children.setdefault(parent, []).append(name)
+            self.note_child(parent, name)
             # Members of the parent learn the new specialization so the
             # class lattice stays browsable from their co-databases.
             for member in self._coalitions[parent].members:
@@ -197,11 +251,48 @@ class Registry:
             self._notify(self._coalitions[parent].members)
         return coalition
 
+    def put_coalition(self, coalition: Coalition) -> None:
+        """Shard-local primitive: store an owned coalition record."""
+        self._coalitions[coalition.name] = coalition
+        self._children.setdefault(coalition.name, [])
+
+    def drop_coalition(self, name: str) -> None:
+        """Shard-local primitive: forget an owned (already emptied)
+        coalition record."""
+        self.coalition(name)
+        del self._coalitions[name]
+        self._children.pop(name, None)
+
+    def note_child(self, parent: str, child: str) -> None:
+        """Shard-local primitive: record a specialization under an owned
+        parent coalition."""
+        self._children.setdefault(parent, []).append(child)
+
+    def forget_child(self, parent: str, child: str) -> None:
+        if child in self._children.get(parent, []):
+            self._children[parent].remove(child)
+
+    def children_of(self, name: str) -> list[str]:
+        return list(self._children.get(name, []))
+
+    def has_coalition(self, name: str) -> bool:
+        return name in self._coalitions
+
     def coalition(self, name: str) -> Coalition:
         coalition = self._coalitions.get(name)
         if coalition is None:
             raise UnknownCoalition(f"no coalition {name!r}")
         return coalition
+
+    def coalition_add_member(self, coalition_name: str,
+                             database_name: str) -> None:
+        """Shard-local primitive: record membership in an owned
+        coalition (the caller validated and propagates)."""
+        self.coalition(coalition_name).add_member(database_name)
+
+    def coalition_remove_member(self, coalition_name: str,
+                                database_name: str) -> None:
+        self.coalition(coalition_name).remove_member(database_name)
 
     def coalition_names(self) -> list[str]:
         return list(self._coalitions)
@@ -219,10 +310,9 @@ class Registry:
                      if l.involves(EndpointKind.COALITION, name)]:
             self.remove_service_link(link)
         parent = coalition.parent
-        if parent is not None and name in self._children.get(parent, []):
-            self._children[parent].remove(name)
-        del self._coalitions[name]
-        self._children.pop(name, None)
+        if parent is not None:
+            self.forget_child(parent, name)
+        self.drop_coalition(name)
 
     # ------------------------------------------------------------ membership --
 
@@ -329,12 +419,9 @@ class Registry:
                 members = self.coalition(link.to_name).members
                 contact = members[0] if members else ""
             link = replace(link, contact=contact)
-        if any(existing.label == link.label
-               and existing.from_kind == link.from_kind
-               and existing.to_kind == link.to_kind
-               for existing in self._links):
+        if self.find_link(link) is not None:
             raise WebFinditError(f"service link {link.label} already exists")
-        self._links.append(link)
+        self.append_link(link)
         audience = self._link_audience(link)
         for codatabase in audience:
             codatabase.add_service_link(link)
@@ -342,18 +429,31 @@ class Registry:
         self._notify(codb.owner_name for codb in audience)
 
     def remove_service_link(self, link: ServiceLink) -> None:
-        stored = next((existing for existing in self._links
-                       if existing.label == link.label
-                       and existing.from_kind == link.from_kind
-                       and existing.to_kind == link.to_kind), None)
+        stored = self.find_link(link)
         if stored is None:
             raise WebFinditError(f"no service link {link.label}")
-        self._links.remove(stored)
+        self.remove_link(stored)
         audience = self._link_audience(stored)
         for codatabase in audience:
             codatabase.remove_service_link(stored)
             self.update_operations += 1
         self._notify(codb.owner_name for codb in audience)
+
+    def find_link(self, link: ServiceLink) -> Optional[ServiceLink]:
+        """The stored link matching *link*'s identity (label + endpoint
+        kinds), or None."""
+        return next((existing for existing in self._links
+                     if existing.label == link.label
+                     and existing.from_kind == link.from_kind
+                     and existing.to_kind == link.to_kind), None)
+
+    def append_link(self, link: ServiceLink) -> None:
+        """Shard-local primitive: append to the stored link list (the
+        caller validated, filled the contact, and writes the audience)."""
+        self._links.append(link)
+
+    def remove_link(self, link: ServiceLink) -> None:
+        self._links.remove(link)
 
     def service_links(self) -> list[ServiceLink]:
         return list(self._links)
@@ -367,6 +467,51 @@ class Registry:
                                                      content, url)
         self.update_operations += 1
         self._notify([source_name])
+
+    # ----------------------------------------------------- shard primitives --
+
+    #: Co-database mutators a coordinator may issue through
+    #: :meth:`codb_write`.  Keeping the list explicit makes the wire
+    #: surface of a registry shard auditable.
+    CODB_WRITE_OPERATIONS = frozenset({
+        "register_coalition", "record_membership", "drop_membership",
+        "forget_coalition", "add_member", "remove_member",
+        "add_service_link", "remove_service_link", "attach_document",
+    })
+
+    def codb_write(self, database_name: str, operation: str,
+                   *args) -> None:
+        """Shard-local primitive: one counted maintenance write into an
+        owned co-database.
+
+        This is the unit the sharded coordinator composes cross-shard
+        operations from; each call is exactly one ``update_operations``
+        tick, matching the singleton's accounting.
+        """
+        if operation not in self.CODB_WRITE_OPERATIONS:
+            raise WebFinditError(
+                f"{operation!r} is not a co-database maintenance write")
+        codatabase = self.codatabase(database_name)
+        getattr(codatabase, operation)(*args)
+        self.update_operations += 1
+
+    def epoch_of(self, name: str) -> int:
+        """Maintenance-write version of one owned co-database."""
+        return getattr(self.codatabase(name), "epoch", 0)
+
+    def memberships_of(self, name: str) -> list[str]:
+        """Coalitions an owned source belongs to, in join order."""
+        return list(self.codatabase(name).memberships)
+
+    def shard_status(self) -> dict:
+        """Inspection snapshot for ``\\shards`` and shard metrics."""
+        return {
+            "sources": len(self._sources),
+            "coalitions": len(self._coalitions),
+            "service_links": len(self._links),
+            "update_operations": self.update_operations,
+            "mutation_epoch": self.mutation_epoch,
+        }
 
     # ------------------------------------------------------------- summary --
 

@@ -29,6 +29,9 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.browser import Browser
+from repro.core.cachetier import (CACHE_TIER_INTERFACE, CacheTierClient,
+                                  CacheTierServant, InvalidationBroadcaster,
+                                  TieredCoDatabaseClient)
 from repro.core.codatabase import CODATABASE_INTERFACE, CoDatabaseServant
 from repro.core.discovery import CoDatabaseClient
 from repro.core.journal import ReplicaJournal
@@ -42,7 +45,10 @@ from repro.core.replication import (DEFAULT_LEASE_DURATION,
                                     replica_binding, replica_key)
 from repro.core.resilience import BACKGROUND, ResiliencePolicy, call_policy
 from repro.core.service_link import EndpointKind, ServiceLink
-from repro.errors import UnknownDatabase, WebFinditError
+from repro.core.sharding import (REGISTRY_SHARD_INTERFACE,
+                                 RegistryShardServant, RemoteShard,
+                                 ShardedRegistryClient)
+from repro.errors import CommFailure, UnknownDatabase, WebFinditError
 from repro.gateway.api import DriverManager
 from repro.gateway.drivers import LocalDriver
 from repro.oodb.database import ObjectDatabase
@@ -85,7 +91,11 @@ class WebFinditSystem:
                  snapshot_every: Optional[int] = None,
                  quorum: bool = False,
                  journal_sync: str = "never",
-                 lease_duration: float = DEFAULT_LEASE_DURATION):
+                 lease_duration: float = DEFAULT_LEASE_DURATION,
+                 shards: int = 1,
+                 shard_service_time: float = 0.0,
+                 cache_tier: bool = False,
+                 cache_tier_ttl: float = 300.0):
         self.transport = transport if transport is not None \
             else InMemoryNetwork()
         self.ontology = ontology
@@ -121,10 +131,25 @@ class WebFinditSystem:
                      or durable_dir is not None
                      or snapshot_every is not None
                      or quorum)
-        self.registry = Registry(
-            ontology=ontology,
-            codatabase_factory=(self._replicated_codatabase
-                                if replicate else None))
+        #: Scaling knobs: N registry shards behind a consistent-hash
+        #: ring (each exported on its own ORB endpoint, see
+        #: ``docs/sharding.md``) and an optional shared cache tier that
+        #: peers consult before crossing GIOP to a co-database.
+        #: ``shards=1`` keeps the seed's singleton registry.
+        self.shards = max(1, shards)
+        self.shard_service_time = shard_service_time
+        self.cache_tier = cache_tier
+        self._cache_tier_ttl = cache_tier_ttl
+        codatabase_factory = (self._replicated_codatabase
+                              if replicate else None)
+        if self.shards > 1:
+            self.registry: Registry | ShardedRegistryClient = \
+                ShardedRegistryClient.local(
+                    self.shards, ontology=ontology,
+                    codatabase_factory=codatabase_factory)
+        else:
+            self.registry = Registry(ontology=ontology,
+                                     codatabase_factory=codatabase_factory)
         #: Fault-tolerance policy every query processor shares.  Its
         #: health board *is* the registry's, so breaker memory persists
         #: across sessions and engines (and `remove_source` clears it).
@@ -142,6 +167,43 @@ class WebFinditSystem:
                                host="system.webfindit.net",
                                product="WebFINDIT")
         __, self.naming = start_naming_service(self._system_orb)
+        #: Sharded deployments export every shard as its own registry
+        #: servant (``webfindit/registry/shard<i>``) so remote peers can
+        #: run the same ring-routed coordination over GIOP.
+        self._shard_orbs: list[Orb] = []
+        self._shard_servants: list[RegistryShardServant] = []
+        if self.shards > 1:
+            for index, shard in enumerate(self.registry.shards):
+                orb = Orb(name=f"webfindit-registry-shard{index}",
+                          transport=self.transport,
+                          host=f"registry-shard{index}.webfindit.net",
+                          product="WebFINDIT")
+                servant = RegistryShardServant(
+                    shard, service_time=self.shard_service_time)
+                ior = orb.activate(servant, REGISTRY_SHARD_INTERFACE,
+                                   object_name=f"registry-shard{index}")
+                self.naming.bind(f"webfindit/registry/shard{index}", ior)
+                self._shard_orbs.append(orb)
+                self._shard_servants.append(servant)
+        #: The shared cache tier: one CacheTierServant on its own
+        #: endpoint, plus one invalidation broadcaster per registry
+        #: shard pushing epoch floors at every mutation.
+        self.cache_tier_servant: Optional[CacheTierServant] = None
+        self._cache_tier_client: Optional[CacheTierClient] = None
+        self._cache_orb: Optional[Orb] = None
+        self._cache_tier_alive = False
+        self._cache_tier_restarts = 0
+        self._broadcasters: list[InvalidationBroadcaster] = []
+        if cache_tier:
+            self._start_cache_tier(initial=True)
+            shard_registries = (list(self.registry.shards)
+                                if self.shards > 1 else [self.registry])
+            for index, registry in enumerate(shard_registries):
+                broadcaster = InvalidationBroadcaster(
+                    registry, deliver=self._deliver_invalidation,
+                    origin=f"shard{index}")
+                registry.add_invalidation_listener(broadcaster)
+                self._broadcasters.append(broadcaster)
         self._deployments: dict[str, DeploymentRecord] = {}
         self._wrappers: dict[str, InformationSourceInterface] = {}
         self._ior_cache: dict[str, Ior] = {}
@@ -438,6 +500,116 @@ class WebFinditSystem:
             return sum(facade.reconcile()
                        for facade in self._replicated.values())
 
+    # ------------------------------------------------------ sharding / cache tier --
+
+    def sharded_registry_client(self) -> ShardedRegistryClient:
+        """A coordinator over the *exported* shard endpoints.
+
+        Where :attr:`registry` orchestrates over in-process shard
+        handles, this client resolves every ``webfindit/registry/
+        shard<i>`` binding and talks GIOP — the path a peer process
+        would use, and what bench S12 and the conformance suites
+        exercise.
+        """
+        if self.shards < 2:
+            raise WebFinditError(
+                "system was deployed with a single registry shard "
+                "(deploy with shards > 1)")
+        handles = []
+        for index in range(self.shards):
+            ior = self.naming.resolve(f"webfindit/registry/shard{index}")
+            proxy = self._system_orb.proxy(ior, REGISTRY_SHARD_INTERFACE)
+            handles.append(RemoteShard(proxy))
+        client = ShardedRegistryClient(handles, ring=self.registry.ring,
+                                       ontology=self.ontology)
+        client.health = self.registry.health
+        return client
+
+    def shard_report(self) -> dict:
+        """Ring + per-shard inspection (the CLI's ``\\shards``)."""
+        if self.shards > 1:
+            statuses = self.registry.shard_statuses()
+            ring = self.registry.ring.describe()
+        else:
+            status = dict(self.registry.shard_status())
+            status["shard"] = 0
+            statuses, ring = [status], None
+        return {
+            "shards": self.shards,
+            "ring": ring,
+            "statuses": statuses,
+            "naming_generation": self.naming.namespace_generation(
+                "webfindit/registry/"),
+            "cache_tier": self._cache_tier_metrics(),
+        }
+
+    def _start_cache_tier(self, initial: bool) -> None:
+        """Activate a (fresh) cache-tier servant on a fresh endpoint."""
+        self._cache_orb = Orb(name="webfindit-cache-tier",
+                              transport=self.transport,
+                              host="cache-tier.webfindit.net",
+                              product="WebFINDIT")
+        self.cache_tier_servant = CacheTierServant(ttl=self._cache_tier_ttl)
+        ior = self._cache_orb.activate(self.cache_tier_servant,
+                                       CACHE_TIER_INTERFACE,
+                                       object_name="cache-tier")
+        binding = "webfindit/cache/tier0"
+        if initial:
+            self.naming.bind(binding, ior)
+        else:
+            self.naming.rebind(binding, ior)
+        proxy = self._system_orb.proxy(ior, CACHE_TIER_INTERFACE)
+        self._cache_tier_client = CacheTierClient(proxy)
+        self._cache_tier_alive = True
+
+    def _deliver_invalidation(self, origin: str, seq: int,
+                              floors: dict) -> bool:
+        """Broadcast hook: push one floor batch to the current tier."""
+        client = self._cache_tier_client
+        if client is None:
+            raise CommFailure("cache tier is not running")
+        return client.invalidate(origin, seq, floors)
+
+    def kill_cache_tier(self) -> None:
+        """Crash the cache-tier server: its endpoint closes, lookups
+        start raising, and every tiered client degrades to direct GIOP
+        (counted in ``cache_bypassed``) — never a failed query."""
+        if not self.cache_tier:
+            raise WebFinditError(
+                "system was deployed without a cache tier "
+                "(deploy with cache_tier=True)")
+        if self._cache_orb is not None:
+            self._cache_orb.shutdown()
+        self._cache_tier_alive = False
+
+    def restart_cache_tier(self) -> None:
+        """Bring a fresh (cold) cache tier back on a new endpoint.
+
+        The replacement starts empty — floors, sequence numbers and
+        entries died with the old process — so the broadcasters flush
+        their pending floors at it and read-through refills the rest.
+        """
+        if not self.cache_tier:
+            raise WebFinditError(
+                "system was deployed without a cache tier "
+                "(deploy with cache_tier=True)")
+        self._start_cache_tier(initial=False)
+        self._cache_tier_restarts += 1
+        for broadcaster in self._broadcasters:
+            broadcaster.flush()
+
+    def _cache_tier_metrics(self) -> Optional[dict]:
+        if not self.cache_tier:
+            return None
+        return {
+            "alive": self._cache_tier_alive,
+            "restarts": self._cache_tier_restarts,
+            "servant": (self.cache_tier_servant.stats()
+                        if self.cache_tier_servant is not None else None),
+            "broadcasters": [broadcaster.status()
+                             for broadcaster in self._broadcasters],
+        }
+
     # ----------------------------------------------------------------- access --
 
     def _client_orb(self) -> Orb:
@@ -512,6 +684,11 @@ class WebFinditSystem:
             raise UnknownDatabase(
                 f"no co-database bound for {database_name!r}") from exc
         proxy = self._client_orb().proxy(ior, CODATABASE_INTERFACE)
+        if self._cache_tier_client is not None:
+            # The shared tier supersedes the per-process cache: one
+            # fleet-wide working set instead of N private ones.
+            return TieredCoDatabaseClient(proxy, database_name,
+                                          self._cache_tier_client)
         if self.metadata_cache is not None:
             return CachingCoDatabaseClient(proxy, database_name,
                                            self.metadata_cache)
@@ -569,6 +746,11 @@ class WebFinditSystem:
     def metrics(self) -> dict:
         """Aggregated middleware counters."""
         transport_metrics = getattr(self.transport, "metrics", None)
+        # One atomic snapshot instead of field-by-field getattr reads:
+        # related counters (messages vs bytes, shed vs expired) must
+        # come from the same instant or they tear under load.
+        transport_snapshot = (transport_metrics.snapshot()
+                              if transport_metrics is not None else {})
         orb_stats = {
             orb.product: {
                 "requests_sent": orb.stats.requests_sent,
@@ -578,18 +760,18 @@ class WebFinditSystem:
             for orb in [self._system_orb, *self._orbs.values()]
         }
         return {
-            "giop_messages": getattr(transport_metrics, "messages_sent", 0),
-            "giop_bytes_sent": getattr(transport_metrics, "bytes_sent", 0),
+            "giop_messages": transport_snapshot.get("messages_sent", 0),
+            "giop_bytes_sent": transport_snapshot.get("bytes_sent", 0),
+            "giop_per_endpoint": transport_snapshot.get("per_endpoint", {}),
             "orbs": orb_stats,
             "registry_updates": self.registry.update_operations,
             "metadata_cache": (self.metadata_cache.stats()
                                if self.metadata_cache is not None else None),
             "resilience": self.resilience.health.snapshot(),
             "overload": {
-                "requests_shed": getattr(transport_metrics,
-                                         "requests_shed", 0),
-                "requests_expired": getattr(transport_metrics,
-                                            "requests_expired", 0),
+                "requests_shed": transport_snapshot.get("requests_shed", 0),
+                "requests_expired": transport_snapshot.get(
+                    "requests_expired", 0),
                 "retry_budget": (self.resilience.retry.budget.snapshot()
                                  if self.resilience.retry.budget is not None
                                  else None),
@@ -597,6 +779,11 @@ class WebFinditSystem:
                             if self.resilience.hedge is not None else None),
             },
             "replication": self._replication_metrics(),
+            "sharding": ({"shards": self.shards,
+                          "ring": self.registry.ring.describe(),
+                          "per_shard": self.registry.shard_statuses()}
+                         if self.shards > 1 else None),
+            "cache_tier": self._cache_tier_metrics(),
         }
 
     def _replication_metrics(self) -> Optional[dict]:

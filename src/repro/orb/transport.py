@@ -183,6 +183,9 @@ class TransportMetrics:
                 "auto_promotions": self.auto_promotions,
                 "requests_shed": self.requests_shed,
                 "requests_expired": self.requests_expired,
+                "per_endpoint": {f"{host}:{port}": count
+                                 for (host, port), count
+                                 in self.per_endpoint.items()},
             }
 
     def reset(self) -> None:

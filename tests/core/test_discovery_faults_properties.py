@@ -39,6 +39,7 @@ class _DyingClient:
         self.calls = 0
         self.cache_hits = 0
         self.cache_misses = 0
+        self.cache_bypassed = 0
 
     def __getattr__(self, operation):
         def fail(*__args, **__kwargs):
